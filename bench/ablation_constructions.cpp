@@ -1,0 +1,64 @@
+// Ablation: structured vs greedy tree construction (§2.2.1 vs §2.2.2).
+//
+// Both satisfy the same invariants and the same worst-case bound, but they
+// place nodes differently, so the per-node delay *distribution* differs.
+// This ablation quantifies the choice the paper leaves implicit.
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "src/metrics/summary.hpp"
+#include "src/multitree/greedy.hpp"
+#include "src/multitree/schedule.hpp"
+#include "src/multitree/structured.hpp"
+#include "src/util/table.hpp"
+
+namespace {
+
+using namespace streamcast;
+
+metrics::Summary delays_of(const multitree::Forest& f) {
+  const auto all = multitree::closed_form_delays(f);
+  std::vector<double> v;
+  v.reserve(static_cast<std::size_t>(f.n()));
+  for (sim::NodeKey x = 1; x <= f.n(); ++x) {
+    v.push_back(static_cast<double>(all[static_cast<std::size_t>(x)]));
+  }
+  return metrics::summarize(v);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation: structured vs greedy construction",
+                "per-node playback-delay distribution");
+
+  util::Table table({"N", "d", "construction", "mean", "p50", "p95", "max"});
+  double mean_gap = 0;
+  int cells = 0;
+  for (const int d : {2, 3, 4}) {
+    for (const sim::NodeKey n : {50, 200, 1000, 4000}) {
+      const auto s = delays_of(multitree::build_structured(n, d));
+      const auto g = delays_of(multitree::build_greedy(n, d));
+      table.add_row({util::cell(n), util::cell(d), "structured",
+                     util::cell(s.mean, 2), util::cell(s.p50, 0),
+                     util::cell(s.p95, 0), util::cell(s.max, 0)});
+      table.add_row({util::cell(n), util::cell(d), "greedy",
+                     util::cell(g.mean, 2), util::cell(g.p50, 0),
+                     util::cell(g.p95, 0), util::cell(g.max, 0)});
+      mean_gap += (s.mean - g.mean);
+      ++cells;
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nmean(structured) - mean(greedy), averaged over all cells: "
+            << util::cell(mean_gap / cells, 3)
+            << " slots.\nReading: identical worst-case behavior (same h*d "
+               "staircase) and near-identical distributions — the greedy "
+               "construction's parity rule fixes every node's per-tree "
+               "receive residues, while the structured rotation scrambles "
+               "them, but neither dominates. Pick by operational needs: "
+               "greedy placements are locally computable from (id, N, d); "
+               "structured tracks the paper's group-rotation proof more "
+               "directly.\n";
+  return 0;
+}

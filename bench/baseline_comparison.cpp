@@ -1,0 +1,65 @@
+// §1 motivation, realized: the chain and single-tree strawmen against the
+// paper's two schemes. Shows why the paper rejects both baselines — the
+// chain's O(N) delay, and the single tree's d-times receiver upload with
+// (1-1/d) of all upload capacity idle at the leaves.
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "src/baseline/single_tree.hpp"
+#include "src/core/session.hpp"
+#include "src/util/table.hpp"
+
+int main() {
+  using namespace streamcast;
+  bench::banner("§1 baselines",
+                "chain and single-tree strawmen vs multi-tree and hypercube");
+
+  util::Table table({"scheme", "N", "worst delay", "avg delay", "buffer",
+                     "neighbors", "receiver uplink", "idle uplink"});
+  for (const sim::NodeKey n : {50, 200, 1000}) {
+    const int d = 2;
+    const auto chain = core::StreamingSession(core::SessionConfig{
+                           .scheme = core::Scheme::kChain, .n = n, .d = 1})
+                           .run();
+    table.add_row({"chain", util::cell(n), util::cell(chain.worst_delay),
+                   util::cell(chain.average_delay, 1),
+                   util::cell(chain.max_buffer),
+                   util::cell(chain.max_neighbors), "1x", "1 node"});
+    const auto single =
+        core::StreamingSession(core::SessionConfig{
+                .scheme = core::Scheme::kSingleTree, .n = n, .d = d})
+            .run();
+    table.add_row(
+        {"single d-ary tree", util::cell(n), util::cell(single.worst_delay),
+         util::cell(single.average_delay, 1), util::cell(single.max_buffer),
+         util::cell(single.max_neighbors),
+         std::to_string(d) + "x (boosted!)",
+         util::cell(100.0 * baseline::single_tree_leaf_fraction(n, d), 0) +
+             "% of nodes"});
+    const auto mt = core::StreamingSession(core::SessionConfig{
+                        .scheme = core::Scheme::kMultiTreeGreedy,
+                        .n = n,
+                        .d = d})
+                        .run();
+    table.add_row({"multi-tree (d trees)", util::cell(n),
+                   util::cell(mt.worst_delay),
+                   util::cell(mt.average_delay, 1), util::cell(mt.max_buffer),
+                   util::cell(mt.max_neighbors), "1x", "d nodes (G_d)"});
+    const auto hc = core::StreamingSession(core::SessionConfig{
+                        .scheme = core::Scheme::kHypercube, .n = n, .d = 1})
+                        .run();
+    table.add_row({"hypercube chain", util::cell(n),
+                   util::cell(hc.worst_delay),
+                   util::cell(hc.average_delay, 1), util::cell(hc.max_buffer),
+                   util::cell(hc.max_neighbors), "1x", "~1 node/slot"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nThe single tree matches the multi-tree's delay only by "
+               "giving every interior node d times the upload bandwidth of "
+               "the stream (BoostedCluster) while all leaves idle — on the "
+               "paper's homogeneous 1x model it is infeasible (the engine "
+               "rejects it; see baseline tests). The multi-tree achieves "
+               "O(d log N) delay with every node uploading at stream rate.\n";
+  return 0;
+}

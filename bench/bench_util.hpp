@@ -1,0 +1,18 @@
+// Shared helpers for the experiment binaries: every bench prints a header
+// naming the paper artifact it regenerates, then one or more tables.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+namespace streamcast::bench {
+
+inline void banner(const std::string& artifact, const std::string& what) {
+  std::cout << "==============================================================="
+               "=================\n"
+            << artifact << " — " << what << "\n"
+            << "==============================================================="
+               "=================\n\n";
+}
+
+}  // namespace streamcast::bench

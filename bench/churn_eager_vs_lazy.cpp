@@ -1,0 +1,119 @@
+// Appendix churn experiment (the paper's omitted simulation): maintenance
+// cost of eager vs lazy addition/deletion under three synthetic workloads —
+// alternating boundary ops (the paper's motivating worst case for eager),
+// a balanced random mix, and a flash crowd. Cost = (peer, tree) position
+// moves, the per-node hiccup proxy; the paper's per-op bound is d^2 + d.
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "src/multitree/churn.hpp"
+#include "src/multitree/validate.hpp"
+#include "src/util/prng.hpp"
+#include "src/util/table.hpp"
+
+namespace {
+
+using namespace streamcast;
+using multitree::ChurnForest;
+using multitree::ChurnPolicy;
+
+struct Result {
+  multitree::ChurnStats stats;
+  bool valid = true;
+};
+
+Result alternating(ChurnPolicy policy, sim::NodeKey n, int d, int rounds) {
+  ChurnForest cf(n, d, policy);
+  for (int r = 0; r < rounds; ++r) {
+    const auto p = cf.add();
+    cf.remove(p);
+  }
+  return {cf.stats(), multitree::validate_forest(cf.forest()).ok};
+}
+
+Result random_mix(ChurnPolicy policy, sim::NodeKey n, int d, int events,
+                  std::uint64_t seed) {
+  util::Prng rng(seed);
+  ChurnForest cf(n, d, policy);
+  for (int e = 0; e < events; ++e) {
+    if (cf.n() > 2 && rng.chance(0.5)) {
+      const auto id =
+          static_cast<sim::NodeKey>(1 + rng.below(
+              static_cast<std::uint64_t>(cf.n())));
+      cf.remove(cf.peer_at(id));
+    } else {
+      cf.add();
+    }
+  }
+  return {cf.stats(), multitree::validate_forest(cf.forest()).ok};
+}
+
+Result flash_crowd(ChurnPolicy policy, sim::NodeKey n, int d, int events,
+                   std::uint64_t seed) {
+  util::Prng rng(seed);
+  ChurnForest cf(n, d, policy);
+  for (int e = 0; e < events; ++e) {
+    const double p_arrive = e < events / 2 ? 0.85 : 0.15;
+    if (cf.n() > 2 && !rng.chance(p_arrive)) {
+      const auto id =
+          static_cast<sim::NodeKey>(1 + rng.below(
+              static_cast<std::uint64_t>(cf.n())));
+      cf.remove(cf.peer_at(id));
+    } else {
+      cf.add();
+    }
+  }
+  return {cf.stats(), multitree::validate_forest(cf.forest()).ok};
+}
+
+void report(util::Table& table, const char* workload, const char* policy,
+            sim::NodeKey n, int d, const Result& r) {
+  table.add_row(
+      {workload, policy, util::cell(n), util::cell(d),
+       util::cell(r.stats.operations), util::cell(r.stats.relabel_moves),
+       util::cell(r.stats.rebuilds), util::cell(r.stats.rebuild_moves),
+       util::cell(static_cast<double>(r.stats.total_moves()) /
+                      static_cast<double>(r.stats.operations),
+                  2),
+       r.valid ? "ok" : "VIOLATED"});
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Appendix churn (omitted simulation)",
+                "eager vs lazy maintenance cost under three workloads");
+
+  util::Table table({"workload", "policy", "N0", "d", "ops", "relabels",
+                     "rebuilds", "rebuild moves", "moves/op", "invariants"});
+  for (const int d : {2, 3}) {
+    for (const sim::NodeKey n : {50, 200, 1000}) {
+      report(table, "alternating@boundary", "eager", n, d,
+             alternating(ChurnPolicy::kEager, n, d, 100));
+      report(table, "alternating@boundary", "lazy", n, d,
+             alternating(ChurnPolicy::kLazy, n, d, 100));
+      report(table, "random 50/50", "eager", n, d,
+             random_mix(ChurnPolicy::kEager, n, d, 400, 7));
+      report(table, "random 50/50", "lazy", n, d,
+             random_mix(ChurnPolicy::kLazy, n, d, 400, 7));
+      report(table, "flash crowd", "eager", n, d,
+             flash_crowd(ChurnPolicy::kEager, n, d, 400, 11));
+      report(table, "flash crowd", "lazy", n, d,
+             flash_crowd(ChurnPolicy::kLazy, n, d, 400, 11));
+    }
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nReading: away from interior-count boundaries both policies pay "
+         "only the paper's Step-1 relabel (d moves per interior deletion, 0 "
+         "per addition). Eager restructures at every boundary crossing — "
+         "alternating add/remove at a boundary is its worst case, which the "
+         "lazy policy reduces to a single forced grow, exactly the paper's "
+         "\"saving d^2+d swaps\" observation. Boundary restructurings are "
+         "re-derivations of the greedy placement (DESIGN.md §5 documents why "
+         "the paper's literal swap rule cannot preserve the congruence "
+         "property), so their measured cost exceeds the paper's d^2 "
+         "accounting while keeping every invariant machine-checked.\n";
+  return 0;
+}

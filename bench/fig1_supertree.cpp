@@ -1,0 +1,45 @@
+// Figure 1: cluster construction with source S, D = 3, d = 4 — the
+// super-tree τ over K = 9 clusters, each with super nodes S_i and S'_i.
+#include <functional>
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "src/supertree/backbone.hpp"
+#include "src/util/ascii_tree.hpp"
+#include "src/util/table.hpp"
+
+int main() {
+  using namespace streamcast;
+  bench::banner("Figure 1", "super-tree over K = 9 clusters, D = 3, d = 4");
+
+  const int k = 9;
+  const int big_d = 3;
+  const supertree::Backbone bb = supertree::build_backbone(k, big_d);
+
+  // Vertices: 0 = S, 1..K = S_i. (Each S_i also feeds its cluster's S'_i,
+  // drawn inline in the label.)
+  std::vector<int> parent(static_cast<std::size_t>(k) + 1, 0);
+  parent[0] = -1;
+  for (int c = 0; c < k; ++c) {
+    parent[static_cast<std::size_t>(c) + 1] =
+        bb.parent[static_cast<std::size_t>(c)] + 1;  // -1 -> 0 (= S)
+  }
+  const auto label = [&](int v) -> std::string {
+    if (v == 0) return "S";
+    return "S_" + std::to_string(v) + " -> S'_" + std::to_string(v) +
+           " (cluster " + std::to_string(v) + ", intra d=4 forest)";
+  };
+  std::cout << util::render_tree(parent, label) << '\n';
+
+  util::Table table({"cluster", "backbone parent", "hops from S"});
+  for (int c = 0; c < k; ++c) {
+    const int p = bb.parent[static_cast<std::size_t>(c)];
+    table.add_row({"S_" + std::to_string(c + 1),
+                   p < 0 ? std::string("S") : "S_" + std::to_string(p + 1),
+                   util::cell(bb.depth[static_cast<std::size_t>(c)])});
+  }
+  table.print(std::cout);
+  std::cout << "\nS has degree D = 3; every other super node takes at most "
+               "D-1 = 2 backbone children plus its local root S'_i.\n";
+  return 0;
+}

@@ -1,0 +1,96 @@
+// §4 future work, quantified: churn disruption of the hypercube chain vs
+// the multi-tree forest. One membership change re-derives the chain's tail
+// — cheap between powers of two, a full re-seating at the 2^k cliffs —
+// which is exactly why an O(log N)-delay / O(1)-buffer scheme that also
+// handles churn gracefully is left open by the paper.
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "src/hypercube/dynamics.hpp"
+#include "src/multitree/churn.hpp"
+#include "src/util/prng.hpp"
+#include "src/util/table.hpp"
+
+namespace {
+
+using namespace streamcast;
+
+hypercube::HypercubeChurnStats run_cube(sim::NodeKey n0, int events,
+                                        std::uint64_t seed) {
+  util::Prng rng(seed);
+  hypercube::HypercubeMembership m(n0);
+  for (int e = 0; e < events; ++e) {
+    if (m.n() > 2 && rng.chance(0.5)) {
+      const auto rank = static_cast<sim::NodeKey>(
+          1 + rng.below(static_cast<std::uint64_t>(m.n())));
+      m.remove(m.peer_at(rank));
+    } else {
+      m.add();
+    }
+  }
+  return m.stats();
+}
+
+multitree::ChurnStats run_tree(sim::NodeKey n0, int d, int events,
+                               std::uint64_t seed) {
+  util::Prng rng(seed);
+  multitree::ChurnForest cf(n0, d, multitree::ChurnPolicy::kLazy);
+  for (int e = 0; e < events; ++e) {
+    if (cf.n() > 2 && rng.chance(0.5)) {
+      const auto id = static_cast<sim::NodeKey>(
+          1 + rng.below(static_cast<std::uint64_t>(cf.n())));
+      cf.remove(cf.peer_at(id));
+    } else {
+      cf.add();
+    }
+  }
+  return cf.stats();
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("§4 open problem: churn disruption",
+                "hypercube chain vs multi-tree forest under identical churn");
+
+  const int events = 400;
+  util::Table table(
+      {"N0", "scheme", "events", "moves", "moves/event", "cliff reseats"});
+  for (const sim::NodeKey n0 : {24, 100, 520, 1040}) {
+    const auto cube = run_cube(n0, events, 2026);
+    table.add_row({util::cell(n0), "hypercube chain", util::cell(events),
+                   util::cell(cube.total_moves()),
+                   util::cell(static_cast<double>(cube.total_moves()) /
+                                  events,
+                              2),
+                   util::cell(cube.full_reseats)});
+    const auto tree = run_tree(n0, 2, events, 2026);
+    table.add_row({util::cell(n0), "multi-tree (d=2, lazy)",
+                   util::cell(events), util::cell(tree.total_moves()),
+                   util::cell(static_cast<double>(tree.total_moves()) /
+                                  events,
+                              2),
+                   "-"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nPer-event role changes across +1 joins (the 2^k cliffs):\n";
+  util::Table cliffs({"N -> N+1", "roles changed", "note"});
+  for (const sim::NodeKey n : {20, 29, 30, 31, 62, 63, 126, 127, 1022, 1023}) {
+    const auto changed = hypercube::roles_changed(n, n + 1);
+    cliffs.add_row({util::cell(n) + " -> " + util::cell(n + 1),
+                    util::cell(changed),
+                    changed == n ? "FULL re-seat (2^k cliff)" : "tail only"});
+  }
+  cliffs.print(std::cout);
+
+  std::cout
+      << "\nReading: between powers of two the chain's prefix cubes are "
+         "stable and churn touches only the O(log N)-sized tail — "
+         "comparable to the multi-tree's lazy maintenance. At every 2^k "
+         "crossing the leading cube's dimension changes and *all* N nodes "
+         "are re-seated; no amount of laziness hides that cliff, which is "
+         "why the paper leaves churn-tolerant O(log N)/O(1)/O(log N) "
+         "streaming as an open problem (§4).\n";
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Microbenchmarks (google-benchmark): construction and scheduling
+// throughput of every overlay builder — the systems cost of running the
+// paper's algorithms at scale.
+#include <benchmark/benchmark.h>
+
+#include "src/core/streamcast.hpp"
+
+namespace {
+
+using namespace streamcast;
+
+void BM_BuildGreedy(benchmark::State& state) {
+  const auto n = static_cast<sim::NodeKey>(state.range(0));
+  const int d = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(multitree::build_greedy(n, d));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BuildGreedy)
+    ->Args({1000, 2})
+    ->Args({1000, 4})
+    ->Args({10000, 2})
+    ->Args({100000, 3});
+
+void BM_BuildStructured(benchmark::State& state) {
+  const auto n = static_cast<sim::NodeKey>(state.range(0));
+  const int d = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(multitree::build_structured(n, d));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BuildStructured)
+    ->Args({1000, 2})
+    ->Args({10000, 2})
+    ->Args({100000, 3});
+
+void BM_ClosedFormDelays(benchmark::State& state) {
+  const auto n = static_cast<sim::NodeKey>(state.range(0));
+  const multitree::Forest f = multitree::build_greedy(n, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(multitree::closed_form_delays(f));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ClosedFormDelays)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_ValidateForest(benchmark::State& state) {
+  const auto n = static_cast<sim::NodeKey>(state.range(0));
+  const multitree::Forest f = multitree::build_greedy(n, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(multitree::validate_forest(f));
+  }
+}
+BENCHMARK(BM_ValidateForest)->Arg(1000)->Arg(10000);
+
+void BM_DecomposeChain(benchmark::State& state) {
+  const auto n = static_cast<sim::NodeKey>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hypercube::decompose_chain(n));
+  }
+}
+BENCHMARK(BM_DecomposeChain)->Arg(1000)->Arg(1000000);
+
+void BM_EngineSlotMultiTree(benchmark::State& state) {
+  // Cost of simulating one slot (transmissions + deliveries) at size N.
+  const auto n = static_cast<sim::NodeKey>(state.range(0));
+  const multitree::Forest f = multitree::build_greedy(n, 2);
+  for (auto _ : state) {
+    state.PauseTiming();
+    net::UniformCluster topo(n, 2);
+    multitree::MultiTreeProtocol proto(f);
+    sim::Engine engine(topo, proto);
+    state.ResumeTiming();
+    engine.run_until(64);
+  }
+  state.SetItemsProcessed(state.iterations() * 64 * n);
+}
+BENCHMARK(BM_EngineSlotMultiTree)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_EngineSlotHypercube(benchmark::State& state) {
+  const auto n = static_cast<sim::NodeKey>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    net::UniformCluster topo(n, 1);
+    hypercube::HypercubeProtocol proto({hypercube::decompose_chain(n)});
+    sim::Engine engine(topo, proto);
+    state.ResumeTiming();
+    engine.run_until(64);
+  }
+  state.SetItemsProcessed(state.iterations() * 64 * n);
+}
+BENCHMARK(BM_EngineSlotHypercube)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_ChurnOp(benchmark::State& state) {
+  const auto n = static_cast<sim::NodeKey>(state.range(0));
+  multitree::ChurnForest cf(n, 2, multitree::ChurnPolicy::kLazy);
+  for (auto _ : state) {
+    const auto p = cf.add();
+    cf.remove(p);
+  }
+}
+BENCHMARK(BM_ChurnOp)->Arg(100)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+// §2.3 tree-degree optimization: F(d) = d * log_d[N(1-1/d)] and the exact
+// integer bound h(d)*d across N — the optimum is always degree 2 or 3, with
+// degree 3 winning asymptotically and degree 2 "reasonable in practice".
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "src/multitree/analysis.hpp"
+#include "src/util/table.hpp"
+
+int main() {
+  using namespace streamcast;
+  bench::banner("§2.3 degree optimization",
+                "F(d) and the exact bound h(d)*d over N; argmin is 2 or 3");
+
+  util::Table table({"N", "F(2)", "F(3)", "F(4)", "F(5)", "h*d @2", "h*d @3",
+                     "h*d @4", "h*d @5", "optimal d"});
+  for (const sim::NodeKey n :
+       {10, 30, 100, 300, 1000, 3000, 10'000, 100'000, 1'000'000}) {
+    std::vector<std::string> row{util::cell(n)};
+    for (int d = 2; d <= 5; ++d) {
+      row.push_back(util::cell(multitree::delay_objective(n, d), 1));
+    }
+    for (int d = 2; d <= 5; ++d) {
+      row.push_back(util::cell(multitree::worst_delay_bound(n, d)));
+    }
+    row.push_back(util::cell(multitree::optimal_degree(n)));
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+
+  // Dense verification of the paper's claim over a wide range.
+  int non_23 = 0;
+  for (sim::NodeKey n = 2; n <= 100'000; ++n) {
+    const int best = multitree::optimal_degree(n);
+    if (best != 2 && best != 3) ++non_23;
+  }
+  std::cout << "\nexhaustive check N = 2..100000: optimal degree outside "
+               "{2,3} at "
+            << non_23 << " values of N (paper: always 0).\n";
+
+  int three_beats_two = 0;
+  for (const sim::NodeKey n : {1'000, 10'000, 100'000, 1'000'000}) {
+    if (multitree::delay_objective(n, 3) < multitree::delay_objective(n, 2)) {
+      ++three_beats_two;
+    }
+  }
+  std::cout << "F(3) < F(2) at " << three_beats_two
+            << "/4 large N (paper: degree 3 asymptotically optimal).\n";
+  return non_23 == 0 ? 0 : 1;
+}

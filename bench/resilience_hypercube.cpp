@@ -1,0 +1,103 @@
+// Resilience contrast, cube side: the §3 scheme has no per-packet
+// redundancy — every packet's doubling pattern passes through every node —
+// so crashed nodes shadow parts of every packet's broadcast. Measures
+// packet coverage on a special-N cube under f random failures, against the
+// multi-tree+MDC numbers from bench/resilience_mdc.
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "src/hypercube/analysis.hpp"
+#include "src/hypercube/protocol.hpp"
+#include "src/metrics/delay.hpp"
+#include "src/multitree/greedy.hpp"
+#include "src/multitree/resilience.hpp"
+#include "src/net/topology.hpp"
+#include "src/sim/engine.hpp"
+#include "src/util/prng.hpp"
+#include "src/util/table.hpp"
+
+namespace {
+
+using namespace streamcast;
+
+struct CubeOutcome {
+  double live_fully_served = 0;  // fraction of live nodes with every packet
+  double mean_coverage = 0;      // mean fraction of packets received (live)
+};
+
+CubeOutcome run_cube(sim::NodeKey n, sim::NodeKey failures,
+                     util::Prng& rng) {
+  const sim::PacketId window = 3 * hypercube::worst_delay(n);
+  net::UniformCluster topo(n, 1);
+  hypercube::HypercubeProtocol proto({hypercube::decompose_chain(n)});
+  const auto failed = multitree::random_failures(n, failures, rng);
+  for (sim::NodeKey v = 1; v <= n; ++v) {
+    if (failed[static_cast<std::size_t>(v)]) proto.fail_node(v);
+  }
+  sim::Engine engine(topo, proto);
+  metrics::DelayRecorder rec(n + 1, window);
+  engine.add_observer(rec);
+  engine.run_until(window + 2 * hypercube::worst_delay(n) + 8);
+
+  sim::NodeKey live = 0;
+  sim::NodeKey full = 0;
+  double coverage = 0;
+  for (sim::NodeKey v = 1; v <= n; ++v) {
+    if (failed[static_cast<std::size_t>(v)]) continue;
+    ++live;
+    sim::PacketId got = 0;
+    for (sim::PacketId j = 0; j < window; ++j) {
+      if (rec.arrival(v, j) != metrics::kNeverArrived) ++got;
+    }
+    if (got == window) ++full;
+    coverage += static_cast<double>(got) / static_cast<double>(window);
+  }
+  return CubeOutcome{static_cast<double>(full) / live, coverage / live};
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Resilience, hypercube side",
+                "packet coverage on a failed cube vs multi-tree+MDC");
+
+  const int trials = 10;
+  util::Table table({"N", "failed", "scheme", "fully served %",
+                     "mean coverage %"});
+  util::Prng rng(7117);
+  const sim::NodeKey n = 127;  // k = 7 cube
+  const multitree::Forest forest = multitree::build_greedy(n, 3);
+  for (const sim::NodeKey failures : {1, 3, 6, 13}) {
+    double cube_full = 0;
+    double cube_cov = 0;
+    double mt_full = 0;
+    double mt_cov = 0;
+    for (int t = 0; t < trials; ++t) {
+      const auto cube = run_cube(n, failures, rng);
+      cube_full += cube.live_fully_served;
+      cube_cov += cube.mean_coverage;
+      const auto failed = multitree::random_failures(n, failures, rng);
+      const auto s = multitree::summarize_resilience(
+          multitree::descriptions_received(forest, failed), failed, 3);
+      mt_full += static_cast<double>(s.fully_served) /
+                 static_cast<double>(s.live);
+      mt_cov += s.mean_quality;
+    }
+    table.add_row({util::cell(n), util::cell(failures), "hypercube",
+                   util::cell(100.0 * cube_full / trials, 1),
+                   util::cell(100.0 * cube_cov / trials, 1)});
+    table.add_row({util::cell(n), util::cell(failures), "multi-tree+MDC d=3",
+                   util::cell(100.0 * mt_full / trials, 1),
+                   util::cell(100.0 * mt_cov / trials, 1)});
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nReading: the cube loses whole-packet delivery fast — each crash "
+         "shadows a region of every packet's doubling pattern, and with no "
+         "second description there is nothing to degrade to. The multi-tree "
+         "keeps most viewers at full quality and almost everyone at >= 2/3. "
+         "Buffer-optimal pipelines buy their O(1) space with fate-sharing: "
+         "one more axis of the paper's tradeoff.\n";
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Theorem 1: end-to-end worst-case playback delay of the super-tree
+// composition is on the order of T_c*log_{D-1}(K) + T_i*d(h-1). Measured by
+// simulating the full multi-cluster system over sweeps of K, T_c and D.
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "src/metrics/delay.hpp"
+#include "src/multitree/analysis.hpp"
+#include "src/net/topology.hpp"
+#include "src/sim/engine.hpp"
+#include "src/supertree/analysis.hpp"
+#include "src/supertree/protocol.hpp"
+#include "src/util/table.hpp"
+
+namespace {
+
+using namespace streamcast;
+
+sim::Slot measure(int clusters, sim::NodeKey per_cluster, int big_d, int d,
+                  sim::Slot t_c) {
+  std::vector<net::ClusteredTopology::ClusterSpec> specs(
+      static_cast<std::size_t>(clusters),
+      net::ClusteredTopology::ClusterSpec{per_cluster});
+  net::ClusteredTopology topo(specs, big_d, d, t_c);
+  supertree::SuperTreeProtocol proto(topo);
+  sim::Engine engine(topo, proto);
+  const sim::PacketId window = 3 * multitree::worst_delay_bound(per_cluster, d);
+  metrics::DelayRecorder delays(topo.size(), window);
+  engine.add_observer(delays);
+  engine.run_until(window +
+                   supertree::structural_bound(clusters, big_d, t_c, 1, d,
+                                               per_cluster) +
+                   8);
+  sim::Slot worst = 0;
+  for (int c = 0; c < clusters; ++c) {
+    for (sim::NodeKey x = 1; x <= per_cluster; ++x) {
+      worst = std::max(worst, *delays.playback_delay(topo.receiver(c, x)));
+    }
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Theorem 1",
+                "end-to-end delay vs T_c*log_{D-1}(K) + T_i*d(h-1)");
+
+  const sim::NodeKey per_cluster = 30;
+  const int d = 2;
+  const int h = multitree::tree_height(per_cluster, d);
+
+  util::Table table({"K", "D", "T_c", "backbone depth", "measured worst",
+                     "Theorem 1 form", "structural bound", "within bound"});
+  bool all_ok = true;
+  for (const int big_d : {3, 4}) {
+    for (const int k : {2, 4, 9, 16, 27, 64}) {
+      for (const sim::Slot t_c : {5, 20, 50}) {
+        const sim::Slot measured = measure(k, per_cluster, big_d, d, t_c);
+        const sim::Slot bound = supertree::structural_bound(
+            k, big_d, t_c, 1, d, per_cluster);
+        const bool ok = measured <= bound;
+        all_ok = all_ok && ok;
+        table.add_row(
+            {util::cell(k), util::cell(big_d), util::cell(t_c),
+             util::cell(supertree::backbone_depth(k, big_d)),
+             util::cell(measured),
+             util::cell(supertree::theorem1_bound(k, big_d, t_c, 1, d, h), 1),
+             util::cell(bound), ok ? "yes" : "NO"});
+      }
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nShape: the measured delay tracks depth*T_c plus the "
+               "intra-cluster d*h term — linear in T_c at fixed K and "
+               "staircase-logarithmic in K at fixed T_c, as Theorem 1 "
+               "states.\n"
+            << (all_ok ? "all runs within the structural bound.\n"
+                       : "BOUND VIOLATION above.\n");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,81 @@
+// Theorem 2: worst-case playback delay T <= h*d with
+// h = ceil(log_d[N(1-1/d)+1]), and a buffer of h*d packets suffices.
+// Measured delay and buffer across N for both constructions; complete trees
+// achieve the bound exactly (start slot h*d - 1, i.e. h*d elapsed slots).
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "src/metrics/buffers.hpp"
+#include "src/metrics/delay.hpp"
+#include "src/multitree/analysis.hpp"
+#include "src/multitree/greedy.hpp"
+#include "src/multitree/protocol.hpp"
+#include "src/multitree/schedule.hpp"
+#include "src/multitree/structured.hpp"
+#include "src/net/topology.hpp"
+#include "src/sim/engine.hpp"
+#include "src/util/table.hpp"
+
+namespace {
+
+using namespace streamcast;
+
+struct Measured {
+  sim::Slot worst_delay = 0;
+  std::size_t worst_buffer = 0;
+};
+
+Measured measure(const multitree::Forest& f) {
+  net::UniformCluster topo(f.n(), f.d());
+  multitree::MultiTreeProtocol proto(f);
+  sim::Engine engine(topo, proto);
+  const sim::PacketId window = 2 * f.d() * (f.height() + 2);
+  metrics::DelayRecorder rec(f.n() + 1, window);
+  engine.add_observer(rec);
+  engine.run_until(window + multitree::worst_delay_bound(f.n(), f.d()) +
+                   3 * f.d() + 4);
+  Measured m{rec.worst_delay(1, f.n()), 0};
+  for (const std::size_t b : metrics::max_occupancies(rec, 1, f.n())) {
+    m.worst_buffer = std::max(m.worst_buffer, b);
+  }
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Theorem 2",
+                "measured worst delay and buffer vs the h*d bound");
+
+  util::Table table({"N", "d", "complete?", "h", "bound h*d",
+                     "worst delay (greedy)", "worst delay (structured)",
+                     "worst buffer", "within bound"});
+  bool all_ok = true;
+  for (const int d : {2, 3, 4}) {
+    for (const sim::NodeKey n :
+         {6, 14, 30, 62, 126, 12, 39, 120, 363, 20, 84, 340, 100, 500, 999}) {
+      const int h = multitree::tree_height(n, d);
+      const sim::Slot bound = multitree::worst_delay_bound(n, d);
+      const auto greedy = measure(multitree::build_greedy(n, d));
+      const auto structured = measure(multitree::build_structured(n, d));
+      const bool ok = greedy.worst_delay <= bound &&
+                      structured.worst_delay <= bound &&
+                      greedy.worst_buffer <= static_cast<std::size_t>(bound);
+      all_ok = all_ok && ok;
+      table.add_row({util::cell(n), util::cell(d),
+                     multitree::is_complete(n, d) ? "yes" : "no",
+                     util::cell(h), util::cell(bound),
+                     util::cell(greedy.worst_delay),
+                     util::cell(structured.worst_delay),
+                     util::cell(greedy.worst_buffer), ok ? "yes" : "NO"});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nComplete trees (N = d + ... + d^h) sit exactly at the "
+               "bound (start slot h*d - 1 = h*d elapsed slots); incomplete "
+               "trees fall below it, often by several slots — the omitted "
+               "simulation §2.3 alludes to.\n"
+            << (all_ok ? "all measurements within Theorem 2's bound.\n"
+                       : "BOUND VIOLATION above.\n");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,49 @@
+// Theorem 3: lower bound on average playback delay,
+//   [ d^h (d+1)(h-1) - d^2(h-2) - d(d+1)/2 ] / [ N(d-1) ],
+// stated for complete trees. Measured average (closed form of the exact
+// schedule, simulation-verified by the test suite) vs the bound.
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "src/multitree/analysis.hpp"
+#include "src/multitree/greedy.hpp"
+#include "src/multitree/schedule.hpp"
+#include "src/multitree/structured.hpp"
+#include "src/util/ints.hpp"
+#include "src/util/table.hpp"
+
+int main() {
+  using namespace streamcast;
+  bench::banner("Theorem 3",
+                "average playback delay vs the complete-tree lower bound");
+
+  util::Table table({"d", "h", "N", "lower bound", "avg (greedy)",
+                     "avg (structured)", "bound holds", "bound/measured"});
+  bool all_ok = true;
+  for (const int d : {2, 3, 4, 5}) {
+    for (int h = 1; h <= (d == 2 ? 8 : d == 3 ? 6 : 5); ++h) {
+      const auto n =
+          static_cast<sim::NodeKey>(util::complete_dary_size(d, h));
+      if (n > 4000) break;
+      const double bound = multitree::average_delay_lower_bound(n, d);
+      const double greedy =
+          multitree::closed_form_average_delay(multitree::build_greedy(n, d));
+      const double structured = multitree::closed_form_average_delay(
+          multitree::build_structured(n, d));
+      const bool ok = greedy + 1e-9 >= bound && structured + 1e-9 >= bound;
+      all_ok = all_ok && ok;
+      table.add_row({util::cell(d), util::cell(h), util::cell(n),
+                     util::cell(bound, 2), util::cell(greedy, 2),
+                     util::cell(structured, 2), ok ? "yes" : "NO",
+                     util::cell(bound / greedy, 3)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nThe bound is asymptotically tight: its ratio to the "
+               "measured average approaches 1 as h grows (most receivers "
+               "sit in the last tree level, whose average delay the "
+               "symmetric-counting argument of Lemma 1 captures exactly).\n"
+            << (all_ok ? "lower bound holds everywhere.\n"
+                       : "BOUND VIOLATION above.\n");
+  return all_ok ? 0 : 1;
+}

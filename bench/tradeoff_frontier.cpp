@@ -1,0 +1,60 @@
+// The paper's title, as one picture: the tradeoff between playback delay
+// and buffer space. Every scheme/parameter combination is one measured
+// (worst delay, worst buffer) point; the frontier shows what each unit of
+// buffer buys in startup delay — and that no scheme dominates both axes
+// (chain: minimal buffer, hopeless delay; multi-tree: best delay at
+// arbitrary N, O(d log N) buffer; hypercube: 2-packet buffer, delay between
+// log N and log^2 N; neighbors are the third, hidden axis).
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "src/core/session.hpp"
+#include "src/util/table.hpp"
+
+int main() {
+  using namespace streamcast;
+  bench::banner("Delay / buffer tradeoff (the paper's title)",
+                "measured (worst delay, worst buffer, neighbors) per scheme");
+
+  for (const sim::NodeKey n : {255, 1000, 4000}) {
+    std::cout << "N = " << n << ":\n";
+    util::Table table({"scheme", "d", "worst delay", "worst buffer",
+                       "max neighbors", "delay*buffer"});
+    struct Cell {
+      core::Scheme scheme;
+      int d;
+    };
+    std::vector<Cell> cells;
+    for (const int d : {2, 3, 4, 5}) {
+      cells.push_back({core::Scheme::kMultiTreeGreedy, d});
+    }
+    cells.push_back({core::Scheme::kHypercube, 1});
+    for (const int d : {2, 4}) {
+      cells.push_back({core::Scheme::kHypercubeGrouped, d});
+    }
+    cells.push_back({core::Scheme::kChain, 1});
+    for (const Cell& cell : cells) {
+      const auto r = core::StreamingSession(core::SessionConfig{
+                         .scheme = cell.scheme, .n = n, .d = cell.d})
+                         .run();
+      table.add_row(
+          {r.scheme, util::cell(cell.d), util::cell(r.worst_delay),
+           util::cell(r.max_buffer), util::cell(r.max_neighbors),
+           util::cell(static_cast<std::int64_t>(r.worst_delay) *
+                      static_cast<std::int64_t>(r.max_buffer))});
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+
+  std::cout
+      << "Reading: the frontier is real — pushing buffers down to O(1) "
+         "(hypercube) costs either special N or a log-factor in delay; "
+         "pushing delay to O(d log N) for arbitrary N (multi-tree) costs "
+         "O(d log N) buffers. The delay*buffer product separates the "
+         "designed schemes (hundreds) from the naive chain (hundreds of "
+         "thousands). Within the multi-tree family, degree 2-3 minimizes "
+         "both axes simultaneously — §2.3's conclusion from yet another "
+         "angle.\n";
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Live broadcast: a sporting event streamed to one cluster of viewers.
+//
+//   $ ./examples/live_broadcast [N] [d]
+//
+// Packets are generated live (one per slot). Compares the paper's two live
+// adaptations of the multi-tree schedule (§2.2.3) — source pre-buffering d
+// packets versus per-tree pipelining — by running both on the engine and
+// attaching a net::PlaybackBuffer to a sample of viewers: startup delay,
+// steady buffer occupancy, and hiccup-free playback.
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "src/core/streamcast.hpp"
+#include "src/util/table.hpp"
+
+namespace {
+
+using namespace streamcast;
+
+struct LiveRun {
+  sim::Slot worst_delay = 0;
+  double avg_delay = 0;
+  std::size_t worst_buffer = 0;
+  std::int64_t hiccups = 0;
+};
+
+LiveRun run_live(core::NodeKey n, int d, multitree::StreamMode mode,
+                 sim::PacketId window) {
+  const multitree::Forest forest = multitree::build_greedy(n, d);
+  net::UniformCluster topo(n, d);
+  multitree::MultiTreeProtocol proto(forest, mode);
+  sim::Engine engine(topo, proto);
+  metrics::DelayRecorder delays(n + 1, window);
+  engine.add_observer(delays);
+  engine.run_until(window + multitree::worst_delay_bound(n, d) + 3 * d + 8);
+
+  LiveRun run;
+  run.worst_delay = delays.worst_delay(1, n);
+  run.avg_delay = delays.average_delay(1, n);
+
+  // Replay each viewer's arrivals through an online playback buffer started
+  // at its own playback delay: zero hiccups expected, bounded occupancy.
+  for (core::NodeKey x = 1; x <= n; ++x) {
+    const sim::Slot start = *delays.playback_delay(x);
+    net::PlaybackBuffer buffer(start);
+    std::map<sim::Slot, std::vector<sim::PacketId>> arrivals;
+    for (sim::PacketId j = 0; j < window; ++j) {
+      arrivals[delays.arrival(x, j)].push_back(j);
+    }
+    sim::Slot clock = -1;
+    for (const auto& [slot, packets] : arrivals) {
+      for (const sim::PacketId p : packets) buffer.on_receive(slot, p);
+      buffer.advance_to(slot);
+      clock = slot;
+    }
+    buffer.advance_to(std::max(clock, start + window - 1));
+    run.worst_buffer = std::max(run.worst_buffer, buffer.max_occupancy());
+    run.hiccups += buffer.hiccups();
+  }
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const core::NodeKey n = argc > 1 ? std::atoi(argv[1]) : 150;
+  const int d = argc > 2 ? std::atoi(argv[2]) : 2;
+  if (n < 1 || d < 1) {
+    std::cerr << "usage: live_broadcast [N >= 1] [d >= 1]\n";
+    return 1;
+  }
+  const sim::PacketId window = 6 * multitree::worst_delay_bound(n, d);
+
+  std::cout << "Live broadcast to " << n << " viewers over " << d
+            << " interior-disjoint trees, " << window
+            << " packets measured.\n\n";
+
+  util::Table table({"live mode", "worst startup (slots)", "avg startup",
+                     "worst buffer (pkts)", "hiccups"});
+  const auto pre = run_live(n, d, multitree::StreamMode::kPreRecorded, window);
+  const auto buf =
+      run_live(n, d, multitree::StreamMode::kLivePrebuffered, window);
+  const auto pipe =
+      run_live(n, d, multitree::StreamMode::kLivePipelined, window);
+  table.add_row({"pre-recorded (reference)", util::cell(pre.worst_delay),
+                 util::cell(pre.avg_delay, 2), util::cell(pre.worst_buffer),
+                 util::cell(pre.hiccups)});
+  table.add_row({"live, source pre-buffers d", util::cell(buf.worst_delay),
+                 util::cell(buf.avg_delay, 2), util::cell(buf.worst_buffer),
+                 util::cell(buf.hiccups)});
+  table.add_row({"live, pipelined per tree", util::cell(pipe.worst_delay),
+                 util::cell(pipe.avg_delay, 2), util::cell(pipe.worst_buffer),
+                 util::cell(pipe.hiccups)});
+  table.print(std::cout);
+
+  std::cout << "\nPre-buffering shifts every viewer by exactly d = " << d
+            << " slots; pipelining trades a smaller shift for inhomogeneous "
+               "per-tree schedules (§2.2.3). No viewer ever rebuffers.\n";
+  return pre.hiccups + buf.hiccups + pipe.hiccups == 0 ? 0 : 1;
+}

@@ -1,0 +1,121 @@
+// Overlay inspector: build any overlay and dump it for humans and tools.
+//
+//   $ ./examples/overlay_inspector tree  [N] [d]   # interior-disjoint forest
+//   $ ./examples/overlay_inspector cube  [N]       # hypercube chain
+//   $ ./examples/overlay_inspector dot   [N] [d]   # forest as Graphviz DOT
+//
+// `dot` output pipes straight into Graphviz:
+//   ./examples/overlay_inspector dot 15 3 | dot -Tsvg > forest.svg
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "src/core/streamcast.hpp"
+#include "src/util/ascii_tree.hpp"
+#include "src/util/dot.hpp"
+#include "src/util/table.hpp"
+
+namespace {
+
+using namespace streamcast;
+
+std::vector<int> parents_of_tree(const multitree::Forest& f, int k) {
+  // Index 0 = source; positions map to indices directly; entry i holds the
+  // parent's *node* index... we render the position lattice with node
+  // labels, so parent[] is over positions.
+  std::vector<int> parent(static_cast<std::size_t>(f.n_pad()) + 1);
+  parent[0] = -1;
+  for (sim::NodeKey pos = 1; pos <= f.n_pad(); ++pos) {
+    parent[static_cast<std::size_t>(pos)] =
+        static_cast<int>(f.parent_pos(pos));
+  }
+  (void)k;
+  return parent;
+}
+
+int run_tree(sim::NodeKey n, int d) {
+  const multitree::Forest f = multitree::build_greedy(n, d);
+  std::cout << "Interior-disjoint forest, N = " << n << ", d = " << d
+            << " (greedy construction)\n\n";
+  for (int k = 0; k < d; ++k) {
+    const auto label = [&](int pos) -> std::string {
+      if (pos == 0) return "S";
+      const sim::NodeKey node = f.node_at(k, static_cast<sim::NodeKey>(pos));
+      return f.is_dummy(node) ? std::to_string(node) + "*"
+                              : std::to_string(node);
+    };
+    std::cout << "T_" << k << ":\n"
+              << util::render_tree(parents_of_tree(f, k), label) << '\n';
+  }
+  util::Table table({"node", "interior in", "delay a(i)", "positions"});
+  const auto delays = multitree::closed_form_delays(f);
+  for (sim::NodeKey x = 1; x <= n; ++x) {
+    std::string positions;
+    for (int k = 0; k < d; ++k) {
+      positions += std::to_string(f.position_of(k, x)) + " ";
+    }
+    const int it = f.interior_tree_of(x);
+    table.add_row({util::cell(x),
+                   it < 0 ? std::string("(all-leaf)")
+                          : "T_" + std::to_string(it),
+                   util::cell(delays[static_cast<std::size_t>(x)]),
+                   positions});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int run_cube(sim::NodeKey n) {
+  std::cout << "Hypercube chain, N = " << n << "\n\n";
+  util::Table table({"segment", "k", "receivers", "keys", "local start",
+                     "playback delay"});
+  const auto chain = hypercube::decompose_chain(n);
+  for (std::size_t s = 0; s < chain.size(); ++s) {
+    const auto& seg = chain[s];
+    table.add_row({util::cell(s), util::cell(seg.k),
+                   util::cell(seg.receivers()),
+                   util::cell(seg.first) + ".." +
+                       util::cell(seg.first + seg.receivers() - 1),
+                   util::cell(seg.start), util::cell(seg.playback_delay())});
+  }
+  table.print(std::cout);
+  std::cout << "\nworst delay " << hypercube::worst_delay(n) << ", average "
+            << util::cell(hypercube::average_delay(n), 2)
+            << " (Theorem 4 bound "
+            << util::cell(hypercube::theorem4_bound(n), 2) << ")\n";
+  return 0;
+}
+
+int run_dot(sim::NodeKey n, int d) {
+  // One digraph per tree, positions as vertices, real node ids as labels
+  // (dummies suffixed '*').
+  const multitree::Forest f = multitree::build_greedy(n, d);
+  for (int k = 0; k < d; ++k) {
+    const auto tree_label = [&](int pos) -> std::string {
+      if (pos == 0) return "S";
+      const sim::NodeKey node = f.node_at(k, static_cast<sim::NodeKey>(pos));
+      return f.is_dummy(node) ? std::to_string(node) + "*"
+                              : std::to_string(node);
+    };
+    std::cout << util::tree_to_dot("T_" + std::to_string(k),
+                                   parents_of_tree(f, k), tree_label);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string mode = argc > 1 ? argv[1] : "tree";
+  const sim::NodeKey n = argc > 2 ? std::atoi(argv[2]) : 15;
+  const int d = argc > 3 ? std::atoi(argv[3]) : 3;
+  if (n < 1 || d < 1) {
+    std::cerr << "usage: overlay_inspector [tree|cube|dot] [N] [d]\n";
+    return 1;
+  }
+  if (mode == "tree") return run_tree(n, d);
+  if (mode == "cube") return run_cube(n);
+  if (mode == "dot") return run_dot(n, d);
+  std::cerr << "unknown mode '" << mode << "'\n";
+  return 1;
+}

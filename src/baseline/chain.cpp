@@ -1,0 +1,30 @@
+#include "src/baseline/chain.hpp"
+
+#include <stdexcept>
+
+namespace streamcast::baseline {
+
+ChainProtocol::ChainProtocol(NodeKey n) : n_(n) {
+  if (n < 1) throw std::invalid_argument("need at least one receiver");
+  highest_.assign(static_cast<std::size_t>(n) + 1, -1);
+}
+
+void ChainProtocol::transmit(Slot t, std::vector<Tx>& out) {
+  // S feeds node 1 with packet t; every node relays its newest packet to its
+  // successor. A node that received packet p in slot t-1 has not yet sent it
+  // (it sends exactly one packet per slot, pipelined).
+  out.push_back(Tx{.from = 0, .to = 1, .packet = t, .tag = 0});
+  for (NodeKey i = 1; i < n_; ++i) {
+    const PacketId have = highest_[static_cast<std::size_t>(i)];
+    if (have >= 0) {
+      out.push_back(Tx{.from = i, .to = i + 1, .packet = have, .tag = 0});
+    }
+  }
+}
+
+void ChainProtocol::deliver(Slot t, const Tx& tx) {
+  (void)t;
+  highest_[static_cast<std::size_t>(tx.to)] = tx.packet;
+}
+
+}  // namespace streamcast::baseline

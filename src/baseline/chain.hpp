@@ -1,0 +1,38 @@
+// Chain baseline (§1): receivers form a list; S streams to the first node,
+// each node forwards to the next. Minimal buffering (O(1)) but O(N) playback
+// delay for the tail — the strawman motivating the multi-tree construction.
+#pragma once
+
+#include <vector>
+
+#include "src/sim/protocol.hpp"
+
+namespace streamcast::baseline {
+
+using sim::NodeKey;
+using sim::PacketId;
+using sim::Slot;
+using sim::Tx;
+
+class ChainProtocol final : public sim::Protocol {
+ public:
+  explicit ChainProtocol(NodeKey n);
+
+  void transmit(Slot t, std::vector<Tx>& out) override;
+  void deliver(Slot t, const Tx& tx) override;
+
+ private:
+  NodeKey n_;
+  /// Highest packet received per node (arrivals are strictly in order).
+  std::vector<PacketId> highest_;
+};
+
+/// Closed form: node i receives packet j in slot j + i - 1, so its playback
+/// delay is i - 1.
+constexpr Slot chain_delay(NodeKey i) { return i - 1; }
+constexpr Slot chain_worst_delay(NodeKey n) { return n - 1; }
+constexpr double chain_average_delay(NodeKey n) {
+  return static_cast<double>(n - 1) / 2.0;
+}
+
+}  // namespace streamcast::baseline

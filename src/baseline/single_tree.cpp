@@ -1,0 +1,68 @@
+#include "src/baseline/single_tree.hpp"
+
+#include <stdexcept>
+
+namespace streamcast::baseline {
+
+BoostedCluster::BoostedCluster(NodeKey n_receivers, int d)
+    : n_(n_receivers), d_(d) {
+  if (n_receivers < 1) throw std::invalid_argument("need >= 1 receiver");
+  if (d < 1) throw std::invalid_argument("d < 1");
+}
+
+SingleTreeProtocol::SingleTreeProtocol(NodeKey n, int d) : n_(n), d_(d) {
+  if (n < 1) throw std::invalid_argument("need >= 1 receiver");
+  if (d < 1) throw std::invalid_argument("d < 1");
+  highest_.assign(static_cast<std::size_t>(n) + 1, -1);
+}
+
+void SingleTreeProtocol::transmit(Slot t, std::vector<Tx>& out) {
+  // Every node (S included) pushes its newest packet to all of its children
+  // each slot — d sends per interior node per slot.
+  for (NodeKey p = 0; p <= n_; ++p) {
+    const PacketId have = p == 0 ? t : highest_[static_cast<std::size_t>(p)];
+    if (have < 0) continue;
+    for (int c = 0; c < d_; ++c) {
+      const NodeKey child = static_cast<NodeKey>(d_) * p + 1 +
+                            static_cast<NodeKey>(c);
+      if (child > n_) break;
+      out.push_back(Tx{.from = p, .to = child, .packet = have, .tag = 0});
+    }
+  }
+}
+
+void SingleTreeProtocol::deliver(Slot t, const Tx& tx) {
+  (void)t;
+  highest_[static_cast<std::size_t>(tx.to)] = tx.packet;
+}
+
+int single_tree_depth(NodeKey i, int d) {
+  int depth = 0;
+  while (i > 0) {
+    i = (i - 1) / static_cast<NodeKey>(d);
+    ++depth;
+  }
+  return depth;
+}
+
+Slot single_tree_worst_delay(NodeKey n, int d) {
+  return single_tree_depth(n, d) - 1;
+}
+
+double single_tree_average_delay(NodeKey n, int d) {
+  double sum = 0;
+  for (NodeKey i = 1; i <= n; ++i) {
+    sum += single_tree_depth(i, d) - 1;
+  }
+  return sum / static_cast<double>(n);
+}
+
+double single_tree_leaf_fraction(NodeKey n, int d) {
+  NodeKey leaves = 0;
+  for (NodeKey i = 1; i <= n; ++i) {
+    if (static_cast<NodeKey>(d) * i + 1 > n) ++leaves;
+  }
+  return static_cast<double>(leaves) / static_cast<double>(n);
+}
+
+}  // namespace streamcast::baseline

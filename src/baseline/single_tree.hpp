@@ -1,0 +1,58 @@
+// Single-tree baseline (§1): one complete d-ary tree rooted at S, every
+// interior node forwarding each packet to all d children. O(log_d N) delay
+// and O(1) buffers — but interior nodes need d times the upload bandwidth of
+// the stream while the ~(1-1/d)N leaves upload nothing, the resource
+// imbalance the paper's multi-tree construction eliminates.
+#pragma once
+
+#include <vector>
+
+#include "src/net/topology.hpp"
+#include "src/sim/protocol.hpp"
+
+namespace streamcast::baseline {
+
+using sim::NodeKey;
+using sim::PacketId;
+using sim::Slot;
+using sim::Tx;
+
+/// Topology for the single-tree strawman: receivers get send capacity d
+/// (the over-provisioning the paper calls "not a reasonable requirement").
+class BoostedCluster final : public net::Topology {
+ public:
+  BoostedCluster(NodeKey n_receivers, int d);
+
+  NodeKey size() const override { return n_ + 1; }
+  Slot latency(NodeKey, NodeKey) const override { return 1; }
+  int send_capacity(NodeKey) const override { return d_; }
+  int recv_capacity(NodeKey n) const override { return n == 0 ? 0 : 1; }
+
+ private:
+  NodeKey n_;
+  int d_;
+};
+
+/// BFS-numbered single d-ary tree: node p's children are d*p+1 .. d*p+d
+/// (wherever <= N), S = 0 the root.
+class SingleTreeProtocol final : public sim::Protocol {
+ public:
+  SingleTreeProtocol(NodeKey n, int d);
+
+  void transmit(Slot t, std::vector<Tx>& out) override;
+  void deliver(Slot t, const Tx& tx) override;
+
+ private:
+  NodeKey n_;
+  int d_;
+  std::vector<PacketId> highest_;
+};
+
+/// Depth of node i in the BFS d-ary tree = its playback delay.
+int single_tree_depth(NodeKey i, int d);
+Slot single_tree_worst_delay(NodeKey n, int d);
+double single_tree_average_delay(NodeKey n, int d);
+/// Fraction of receivers that upload nothing (leaves).
+double single_tree_leaf_fraction(NodeKey n, int d);
+
+}  // namespace streamcast::baseline

@@ -1,0 +1,48 @@
+// Public configuration of a streaming session.
+#pragma once
+
+#include "src/multitree/protocol.hpp"
+#include "src/sim/packet.hpp"
+
+namespace streamcast::core {
+
+using sim::NodeKey;
+using sim::PacketId;
+using sim::Slot;
+
+/// Which overlay scheme to run inside one cluster.
+enum class Scheme {
+  kMultiTreeStructured,  // §2.2.1
+  kMultiTreeGreedy,      // §2.2.2
+  kHypercube,            // §3.2 (single chain; §3.1 when N = 2^k - 1)
+  kHypercubeGrouped,     // §3.2 final paragraph (d groups)
+  kChain,                // §1 strawman
+  kSingleTree,           // §1 strawman with d-times receiver upload
+};
+
+const char* scheme_name(Scheme s);
+
+struct SessionConfig {
+  Scheme scheme = Scheme::kMultiTreeGreedy;
+  /// Receivers in the cluster (per cluster, when clusters > 1).
+  NodeKey n = 0;
+  /// Source capacity / tree degree / group count, per scheme.
+  int d = 2;
+  /// Stream mode (multi-tree schemes only; hypercube and baselines stream
+  /// pre-recorded data).
+  multitree::StreamMode mode = multitree::StreamMode::kPreRecorded;
+  /// Packets measured. 0 = pick automatically (enough for steady state).
+  PacketId window = 0;
+
+  // --- cross-cluster composition (§2.1) ------------------------------------
+  /// 1 = single-cluster streaming straight from S. > 1 = the super-tree τ
+  /// over `clusters` equal clusters of n receivers each; `scheme` then
+  /// selects the intra-cluster overlay (kMultiTreeGreedy or kHypercube).
+  int clusters = 1;
+  /// Backbone degree D >= 3 (clusters > 1 only).
+  int big_d = 3;
+  /// Inter-cluster latency T_c > 1 (clusters > 1 only).
+  Slot t_c = 10;
+};
+
+}  // namespace streamcast::core

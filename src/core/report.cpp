@@ -1,0 +1,23 @@
+#include "src/core/report.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "src/util/table.hpp"
+
+namespace streamcast::core {
+
+std::string QosReport::summary() const {
+  std::ostringstream os;
+  os << scheme << " (N=" << n << ", d=" << d << "): worst delay "
+     << worst_delay << " slots, avg delay " << util::cell(average_delay, 2)
+     << ", max buffer " << max_buffer << " pkts, max neighbors "
+     << max_neighbors << ", " << transmissions << " transmissions";
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const QosReport& r) {
+  return os << r.summary();
+}
+
+}  // namespace streamcast::core

@@ -1,0 +1,30 @@
+// QoS report of a simulated session: the quantities Table 1 of the paper
+// compares (playback delay, buffer space, number of neighbors).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/sim/packet.hpp"
+
+namespace streamcast::core {
+
+struct QosReport {
+  std::string scheme;
+  sim::NodeKey n = 0;
+  int d = 0;
+  sim::Slot worst_delay = 0;
+  double average_delay = 0;
+  std::size_t max_buffer = 0;
+  double average_buffer = 0;
+  std::size_t max_neighbors = 0;
+  double average_neighbors = 0;
+  std::int64_t transmissions = 0;
+
+  /// One-line rendering used by examples.
+  std::string summary() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const QosReport& r);
+
+}  // namespace streamcast::core

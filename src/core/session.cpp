@@ -1,0 +1,216 @@
+#include "src/core/session.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "src/baseline/chain.hpp"
+#include "src/baseline/single_tree.hpp"
+#include "src/hypercube/analysis.hpp"
+#include "src/hypercube/protocol.hpp"
+#include "src/metrics/buffers.hpp"
+#include "src/metrics/delay.hpp"
+#include "src/metrics/neighbors.hpp"
+#include "src/multitree/analysis.hpp"
+#include "src/multitree/greedy.hpp"
+#include "src/multitree/structured.hpp"
+#include "src/sim/engine.hpp"
+#include "src/supertree/analysis.hpp"
+#include "src/supertree/protocol.hpp"
+
+namespace streamcast::core {
+
+const char* scheme_name(Scheme s) {
+  switch (s) {
+    case Scheme::kMultiTreeStructured:
+      return "multi-tree/structured";
+    case Scheme::kMultiTreeGreedy:
+      return "multi-tree/greedy";
+    case Scheme::kHypercube:
+      return "hypercube";
+    case Scheme::kHypercubeGrouped:
+      return "hypercube/grouped";
+    case Scheme::kChain:
+      return "chain";
+    case Scheme::kSingleTree:
+      return "single-tree";
+  }
+  return "?";
+}
+
+StreamingSession::StreamingSession(SessionConfig config)
+    : config_(config) {
+  if (config_.n < 1) throw std::invalid_argument("n < 1");
+  if (config_.d < 1) throw std::invalid_argument("d < 1");
+  if (config_.clusters < 1) throw std::invalid_argument("clusters < 1");
+  if (config_.clusters > 1) {
+    if (config_.scheme != Scheme::kMultiTreeGreedy &&
+        config_.scheme != Scheme::kHypercube) {
+      throw std::invalid_argument(
+          "multi-cluster sessions support kMultiTreeGreedy or kHypercube");
+    }
+  }
+}
+
+namespace {
+
+/// Cross-cluster run: the super-tree τ with the chosen intra scheme;
+/// metrics aggregated over every cluster's receivers.
+QosReport run_multicluster(const SessionConfig& config) {
+  const NodeKey n = config.n;
+  std::vector<net::ClusteredTopology::ClusterSpec> specs(
+      static_cast<std::size_t>(config.clusters),
+      net::ClusteredTopology::ClusterSpec{n});
+  net::ClusteredTopology topo(specs, config.big_d, config.d, config.t_c);
+  const supertree::IntraScheme intra =
+      config.scheme == Scheme::kHypercube ? supertree::IntraScheme::kHypercube
+                                          : supertree::IntraScheme::kMultiTree;
+  supertree::SuperTreeProtocol proto(topo, intra);
+  sim::Engine engine(topo, proto);
+
+  const Slot bound =
+      intra == supertree::IntraScheme::kHypercube
+          ? supertree::structural_bound_hypercube(config.clusters,
+                                                  config.big_d, config.t_c,
+                                                  1, n)
+          : supertree::structural_bound(config.clusters, config.big_d,
+                                        config.t_c, 1, config.d, n);
+  PacketId window = config.window;
+  if (window == 0) window = 2 * (multitree::worst_delay_bound(n, config.d));
+  metrics::DelayRecorder delays(topo.size(), window);
+  metrics::NeighborRecorder neighbors(topo.size());
+  engine.add_observer(delays);
+  engine.add_observer(neighbors);
+  engine.run_until(window + bound + 8);
+
+  QosReport report;
+  report.scheme = std::string(scheme_name(config.scheme)) + " x" +
+                  std::to_string(config.clusters) + " clusters";
+  report.n = n * config.clusters;
+  report.d = config.d;
+  double delay_sum = 0;
+  double buffer_sum = 0;
+  double neighbor_sum = 0;
+  NodeKey receivers = 0;
+  for (int c = 0; c < config.clusters; ++c) {
+    for (NodeKey x = 1; x <= n; ++x) {
+      const NodeKey key = topo.receiver(c, x);
+      const auto a = delays.playback_delay(key);
+      if (!a) throw std::logic_error("receiver window incomplete");
+      report.worst_delay = std::max(report.worst_delay, *a);
+      delay_sum += static_cast<double>(*a);
+      std::vector<Slot> row(static_cast<std::size_t>(window));
+      for (PacketId j = 0; j < window; ++j) {
+        row[static_cast<std::size_t>(j)] = delays.arrival(key, j);
+      }
+      const std::size_t occ = metrics::max_buffer_occupancy(row, *a);
+      report.max_buffer = std::max(report.max_buffer, occ);
+      buffer_sum += static_cast<double>(occ);
+      report.max_neighbors =
+          std::max(report.max_neighbors, neighbors.count(key));
+      neighbor_sum += static_cast<double>(neighbors.count(key));
+      ++receivers;
+    }
+  }
+  report.average_delay = delay_sum / static_cast<double>(receivers);
+  report.average_buffer = buffer_sum / static_cast<double>(receivers);
+  report.average_neighbors = neighbor_sum / static_cast<double>(receivers);
+  report.transmissions = engine.stats().transmissions;
+  return report;
+}
+
+}  // namespace
+
+QosReport StreamingSession::run() const {
+  if (config_.clusters > 1) return run_multicluster(config_);
+  const NodeKey n = config_.n;
+  const int d = config_.d;
+
+  // Assemble scheme-specific pieces.
+  std::unique_ptr<net::Topology> topology;
+  std::unique_ptr<sim::Protocol> protocol;
+  std::unique_ptr<multitree::Forest> forest;  // kept alive for the protocol
+  PacketId window = config_.window;
+  Slot slack = 4;  // horizon beyond window + worst delay
+
+  switch (config_.scheme) {
+    case Scheme::kMultiTreeStructured:
+    case Scheme::kMultiTreeGreedy: {
+      forest = std::make_unique<multitree::Forest>(
+          config_.scheme == Scheme::kMultiTreeGreedy
+              ? multitree::build_greedy(n, d)
+              : multitree::build_structured(n, d));
+      if (window == 0) window = 2 * d * (forest->height() + 2);
+      topology = std::make_unique<net::UniformCluster>(n, d);
+      protocol =
+          std::make_unique<multitree::MultiTreeProtocol>(*forest,
+                                                         config_.mode);
+      slack += multitree::worst_delay_bound(n, d) + 3 * d;
+      break;
+    }
+    case Scheme::kHypercube: {
+      if (window == 0) window = 2 * hypercube::worst_delay(n) + 8;
+      topology = std::make_unique<net::UniformCluster>(n, 1);
+      protocol = std::make_unique<hypercube::HypercubeProtocol>(
+          std::vector<std::vector<hypercube::Segment>>{
+              hypercube::decompose_chain(n)});
+      slack += hypercube::worst_delay(n);
+      break;
+    }
+    case Scheme::kHypercubeGrouped: {
+      if (window == 0) window = 2 * hypercube::worst_delay_grouped(n, d) + 8;
+      topology = std::make_unique<net::UniformCluster>(n, d);
+      std::vector<std::vector<hypercube::Segment>> chains;
+      for (auto& g : hypercube::decompose_grouped(n, d)) {
+        chains.push_back(std::move(g.chain));
+      }
+      protocol =
+          std::make_unique<hypercube::HypercubeProtocol>(std::move(chains));
+      slack += hypercube::worst_delay_grouped(n, d);
+      break;
+    }
+    case Scheme::kChain: {
+      if (window == 0) window = 8;
+      topology = std::make_unique<net::UniformCluster>(n, 1);
+      protocol = std::make_unique<baseline::ChainProtocol>(n);
+      slack += n;
+      break;
+    }
+    case Scheme::kSingleTree: {
+      if (window == 0) window = 8;
+      topology = std::make_unique<baseline::BoostedCluster>(n, d);
+      protocol = std::make_unique<baseline::SingleTreeProtocol>(n, d);
+      slack += baseline::single_tree_worst_delay(n, d) + 2;
+      break;
+    }
+  }
+
+  // Simulate with all recorders attached.
+  sim::Engine engine(*topology, *protocol);
+  metrics::DelayRecorder delays(n + 1, window);
+  metrics::NeighborRecorder neighbors(n + 1);
+  engine.add_observer(delays);
+  engine.add_observer(neighbors);
+  engine.run_until(window + slack);
+
+  QosReport report;
+  report.scheme = scheme_name(config_.scheme);
+  report.n = n;
+  report.d = d;
+  report.worst_delay = delays.worst_delay(1, n);
+  report.average_delay = delays.average_delay(1, n);
+  const auto buffers = metrics::max_occupancies(delays, 1, n);
+  std::size_t worst_buffer = 0;
+  double buffer_sum = 0;
+  for (const std::size_t b : buffers) {
+    worst_buffer = std::max(worst_buffer, b);
+    buffer_sum += static_cast<double>(b);
+  }
+  report.max_buffer = worst_buffer;
+  report.average_buffer = buffer_sum / static_cast<double>(buffers.size());
+  report.max_neighbors = neighbors.max_count(1, n);
+  report.average_neighbors = neighbors.mean_count(1, n);
+  report.transmissions = engine.stats().transmissions;
+  return report;
+}
+
+}  // namespace streamcast::core

@@ -1,0 +1,32 @@
+// StreamingSession — the one-stop public API: pick a scheme, run it on the
+// slot engine, get the QoS report the paper's Table 1 compares.
+//
+//   core::SessionConfig cfg{.scheme = core::Scheme::kMultiTreeGreedy,
+//                           .n = 100, .d = 3};
+//   core::QosReport report = core::StreamingSession(cfg).run();
+//
+// For anything beyond single-cluster QoS measurement (custom observers,
+// cross-cluster composition, churn), use the underlying modules directly —
+// the session is a convenience wrapper, not a gatekeeper.
+#pragma once
+
+#include "src/core/config.hpp"
+#include "src/core/report.hpp"
+
+namespace streamcast::core {
+
+class StreamingSession {
+ public:
+  explicit StreamingSession(SessionConfig config);
+
+  /// Builds topology and protocol, simulates until every receiver completed
+  /// the measurement window, and aggregates the QoS metrics.
+  QosReport run() const;
+
+  const SessionConfig& config() const { return config_; }
+
+ private:
+  SessionConfig config_;
+};
+
+}  // namespace streamcast::core

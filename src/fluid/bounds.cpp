@@ -1,0 +1,64 @@
+#include "src/fluid/bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/util/ints.hpp"
+
+namespace streamcast::fluid {
+
+double max_streaming_rate(NodeKey n, double u_s, double u_p) {
+  if (n < 1) throw std::invalid_argument("n < 1");
+  return std::min(u_s, (u_s + static_cast<double>(n) * u_p) /
+                           static_cast<double>(n));
+}
+
+Slot min_worst_delay(NodeKey n, int d) {
+  if (n < 1) throw std::invalid_argument("n < 1");
+  if (d < 1) throw std::invalid_argument("d < 1");
+  Slot t = 0;
+  std::int64_t holders = 0;
+  while (holders < n) {
+    holders = 2 * holders + d;
+    ++t;
+  }
+  return t;
+}
+
+Slot min_worst_delay_unicast_source(NodeKey n) {
+  if (n < 1) throw std::invalid_argument("n < 1");
+  return util::ceil_log2(static_cast<std::uint64_t>(n)) + 1;
+}
+
+double min_average_delay(NodeKey n, int d) {
+  if (n < 1) throw std::invalid_argument("n < 1");
+  if (d < 1) throw std::invalid_argument("d < 1");
+  // Receiver rank i (1-based) is reachable no earlier than the slot holders
+  // first reach i; sum the per-rank minima in O(log n) by level counts.
+  double sum = 0;
+  std::int64_t holders = 0;
+  Slot t = 0;
+  NodeKey counted = 0;
+  while (counted < n) {
+    const std::int64_t next = 2 * holders + d;
+    ++t;
+    const NodeKey new_ranks = static_cast<NodeKey>(
+        std::min<std::int64_t>(next, n) - std::min<std::int64_t>(holders, n));
+    sum += static_cast<double>(new_ranks) * static_cast<double>(t);
+    counted += new_ranks;
+    holders = next;
+  }
+  return sum / static_cast<double>(n);
+}
+
+int min_substreams_for_unit_uplink(int d) {
+  // With every node's uplink capped at the stream rate, a node can fully
+  // forward at most one of d rate-(1/d) sub-streams to d children; fewer
+  // than d sub-streams forces some node above unit uplink (the §1 binary-
+  // tree argument). Hence exactly d.
+  if (d < 1) throw std::invalid_argument("d < 1");
+  return d;
+}
+
+}  // namespace streamcast::fluid

@@ -1,0 +1,54 @@
+// Fluid-flow performance bounds for peer-assisted live streaming, after
+// Liu, Zhang-Shen, Jiang, Rexford, Chiang (SIGMETRICS 2008) — the work the
+// paper contrasts its packet model against ("they assume a potentially
+// unlimited source capacity, they do not constrain trees to be
+// interior-disjoint, etc."). Implemented here so the gap between the
+// paper's constructive schemes and the information-theoretic limits can be
+// measured (bench/fluid_gap).
+//
+// Model: a chunk enters at the source (upload capacity d chunks/slot); every
+// peer holding it can upload one copy per slot ("snowball streaming").
+// Holder count therefore obeys h(t+1) = 2 h(t) + d, h(0) = 0, i.e.
+// h(t) = d (2^t - 1): the minimum worst-case playback delay for N peers is
+// the smallest t with h(t) >= N. The §3.1 hypercube scheme meets this bound
+// with equality at d = 1, N = 2^k - 1 — Proposition 1 is optimal.
+#pragma once
+
+#include "src/sim/packet.hpp"
+
+namespace streamcast::fluid {
+
+using sim::NodeKey;
+using sim::Slot;
+
+/// Maximum sustainable streaming rate (chunks/slot) with source capacity
+/// u_s and per-peer upload u_p: min(u_s, (u_s + N u_p) / N) — the fluid
+/// capacity constraint. The paper's model fixes u_p = 1 and rate 1.
+double max_streaming_rate(NodeKey n, double u_s, double u_p);
+
+/// Minimum worst-case playback delay (in slots) to deliver each chunk to
+/// all N peers when the source uploads d copies/slot and every holder one:
+/// smallest t with d(2^t - 1) >= N. This dedicates the source to the chunk
+/// every slot — more generous than any streaming source can be, hence a
+/// universal lower bound.
+Slot min_worst_delay(NodeKey n, int d);
+
+/// Tighter variant for streaming sources that emit each chunk exactly once
+/// (as all of the paper's schemes do: S sends packet j to a single child):
+/// one holder after slot 1, doubling thereafter — ceil(log2(N)) + 1 slots.
+/// Proposition 1's hypercube meets this with equality at N = 2^k - 1.
+Slot min_worst_delay_unicast_source(NodeKey n);
+
+/// Lower bound on the *average* playback delay under the same snowball
+/// dynamics: the i-th earliest receiver of a chunk cannot get it before
+/// ceil(log2(i/d + 1)) slots, so averaging the per-rank minima bounds any
+/// scheme's average delay.
+double min_average_delay(NodeKey n, int d);
+
+/// Minimum number of distinct trees (sub-streams) needed so that every peer
+/// uploads at most the stream rate while all N receive rate 1, given the
+/// source sends d sub-streams: the paper's d interior-disjoint trees hit
+/// this minimum (each node interior in exactly one tree).
+int min_substreams_for_unit_uplink(int d);
+
+}  // namespace streamcast::fluid

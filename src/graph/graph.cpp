@@ -1,0 +1,127 @@
+#include "src/graph/graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace streamcast::graph {
+
+Graph::Graph(Vertex n) : n_(n) {
+  if (n < 1) throw std::invalid_argument("empty graph");
+  if (n > 63) throw std::invalid_argument("bitmask solver caps at 63 vertices");
+  adj_.resize(static_cast<std::size_t>(n));
+}
+
+void Graph::add_edge(Vertex a, Vertex b) {
+  assert(a >= 0 && a < n_ && b >= 0 && b < n_ && a != b);
+  if (has_edge(a, b)) return;
+  adj_[static_cast<std::size_t>(a)].push_back(b);
+  adj_[static_cast<std::size_t>(b)].push_back(a);
+  ++edges_;
+}
+
+bool Graph::has_edge(Vertex a, Vertex b) const {
+  const auto& na = adj_[static_cast<std::size_t>(a)];
+  return std::find(na.begin(), na.end(), b) != na.end();
+}
+
+const std::vector<Vertex>& Graph::neighbors(Vertex v) const {
+  return adj_[static_cast<std::size_t>(v)];
+}
+
+bool is_connected_dominating(const Graph& g, Vertex root,
+                             std::uint64_t mask) {
+  const std::uint64_t set = mask | (std::uint64_t{1} << root);
+  // Connectivity of the induced subgraph, by DFS from root within the set.
+  std::uint64_t visited = 0;
+  std::vector<Vertex> stack{root};
+  visited |= std::uint64_t{1} << root;
+  while (!stack.empty()) {
+    const Vertex v = stack.back();
+    stack.pop_back();
+    for (const Vertex w : g.neighbors(v)) {
+      const std::uint64_t bit = std::uint64_t{1} << w;
+      if ((set & bit) != 0 && (visited & bit) == 0) {
+        visited |= bit;
+        stack.push_back(w);
+      }
+    }
+  }
+  if (visited != set) return false;
+  // Domination: every vertex is in the set or adjacent to it.
+  for (Vertex v = 0; v < g.size(); ++v) {
+    if ((set >> v) & 1) continue;
+    bool dominated = false;
+    for (const Vertex w : g.neighbors(v)) {
+      if ((set >> w) & 1) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) return false;
+  }
+  return true;
+}
+
+std::vector<Vertex> tree_from_interior(const Graph& g, Vertex root,
+                                       std::uint64_t mask) {
+  assert(is_connected_dominating(g, root, mask));
+  const std::uint64_t set = mask | (std::uint64_t{1} << root);
+  std::vector<Vertex> parent(static_cast<std::size_t>(g.size()), -2);
+  parent[static_cast<std::size_t>(root)] = -1;
+  // BFS over the interior set first so interior nodes attach to interior
+  // parents...
+  std::vector<Vertex> queue{root};
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const Vertex v = queue[head];
+    for (const Vertex w : g.neighbors(v)) {
+      if (((set >> w) & 1) && parent[static_cast<std::size_t>(w)] == -2) {
+        parent[static_cast<std::size_t>(w)] = v;
+        queue.push_back(w);
+      }
+    }
+  }
+  // ...then hang every remaining vertex as a leaf off any set neighbor.
+  for (Vertex v = 0; v < g.size(); ++v) {
+    if (parent[static_cast<std::size_t>(v)] != -2) continue;
+    for (const Vertex w : g.neighbors(v)) {
+      if ((set >> w) & 1) {
+        parent[static_cast<std::size_t>(v)] = w;
+        break;
+      }
+    }
+    assert(parent[static_cast<std::size_t>(v)] != -2);
+  }
+  return parent;
+}
+
+bool is_spanning_tree(const Graph& g, Vertex root,
+                      const std::vector<Vertex>& parent) {
+  if (parent.size() != static_cast<std::size_t>(g.size())) return false;
+  if (parent[static_cast<std::size_t>(root)] != -1) return false;
+  for (Vertex v = 0; v < g.size(); ++v) {
+    if (v == root) continue;
+    const Vertex p = parent[static_cast<std::size_t>(v)];
+    if (p < 0 || p >= g.size() || !g.has_edge(v, p)) return false;
+    // Walk to the root; cycles would loop forever, so cap the walk.
+    Vertex cur = v;
+    for (Vertex steps = 0; cur != root; ++steps) {
+      if (steps > g.size()) return false;
+      cur = parent[static_cast<std::size_t>(cur)];
+      if (cur < 0) return false;
+    }
+  }
+  return true;
+}
+
+std::uint64_t interior_mask(const std::vector<Vertex>& parent, Vertex root) {
+  std::uint64_t mask = 0;
+  for (std::size_t v = 0; v < parent.size(); ++v) {
+    if (parent[v] >= 0 && parent[v] != root) {
+      mask |= std::uint64_t{1} << parent[v];
+    }
+  }
+  return mask;
+}
+
+}  // namespace streamcast::graph

@@ -1,0 +1,47 @@
+// Minimal undirected graph for the Two Interior-Disjoint Tree problem
+// (paper appendix, NP-completeness).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace streamcast::graph {
+
+using Vertex = std::int32_t;
+
+class Graph {
+ public:
+  explicit Graph(Vertex n);
+
+  Vertex size() const { return n_; }
+  void add_edge(Vertex a, Vertex b);
+  bool has_edge(Vertex a, Vertex b) const;
+  const std::vector<Vertex>& neighbors(Vertex v) const;
+  std::size_t edges() const { return edges_; }
+
+ private:
+  Vertex n_;
+  std::size_t edges_ = 0;
+  std::vector<std::vector<Vertex>> adj_;
+};
+
+/// True iff the vertices with set bits in `mask` (plus `root`) induce a
+/// connected subgraph that dominates every vertex of g. Such a set is
+/// exactly the interior-node set of some spanning tree rooted at `root`
+/// (BFS inside the set, then hang the remaining vertices as leaves).
+bool is_connected_dominating(const Graph& g, Vertex root, std::uint64_t mask);
+
+/// Spanning tree (parent array, parent[root] = -1) whose interior nodes are
+/// a subset of `mask` ∪ {root}. Precondition: is_connected_dominating.
+std::vector<Vertex> tree_from_interior(const Graph& g, Vertex root,
+                                       std::uint64_t mask);
+
+/// Checks that `parent` encodes a spanning tree of g rooted at `root` (every
+/// parent edge exists, every vertex reaches root).
+bool is_spanning_tree(const Graph& g, Vertex root,
+                      const std::vector<Vertex>& parent);
+
+/// Interior vertices (those with at least one child), root excluded.
+std::uint64_t interior_mask(const std::vector<Vertex>& parent, Vertex root);
+
+}  // namespace streamcast::graph

@@ -1,0 +1,98 @@
+#include "src/graph/idt_heuristic.hpp"
+
+#include <cassert>
+
+namespace streamcast::graph {
+
+namespace {
+
+int popcount(std::uint64_t x) {
+  int c = 0;
+  while (x) {
+    x &= x - 1;
+    ++c;
+  }
+  return c;
+}
+
+/// Vertices dominated by (mask ∪ {root}): the set itself plus neighbors.
+std::uint64_t dominated_by(const Graph& g, Vertex root, std::uint64_t mask) {
+  std::uint64_t dom = mask | (std::uint64_t{1} << root);
+  const std::uint64_t members = dom;
+  for (Vertex v = 0; v < g.size(); ++v) {
+    if ((members >> v) & 1) {
+      for (const Vertex w : g.neighbors(v)) dom |= std::uint64_t{1} << w;
+    }
+  }
+  return dom;
+}
+
+}  // namespace
+
+std::optional<std::uint64_t> greedy_cds(const Graph& g, Vertex root,
+                                        std::uint64_t allowed) {
+  const std::uint64_t all =
+      g.size() == 63 ? ~std::uint64_t{0}
+                     : (std::uint64_t{1} << g.size()) - 1;
+  allowed &= all & ~(std::uint64_t{1} << root);
+
+  std::uint64_t mask = 0;
+  std::uint64_t dominated = dominated_by(g, root, 0);
+  // Frontier = allowed vertices adjacent to the current set (keeps the
+  // induced subgraph connected as it grows).
+  while ((dominated & all) != all) {
+    Vertex best = -1;
+    int best_gain = -1;
+    for (Vertex v = 0; v < g.size(); ++v) {
+      if (((allowed >> v) & 1) == 0 || ((mask >> v) & 1)) continue;
+      // Must touch the current set (or the root) to stay connected.
+      bool frontier = false;
+      for (const Vertex w : g.neighbors(v)) {
+        if (w == root || ((mask >> w) & 1)) {
+          frontier = true;
+          break;
+        }
+      }
+      if (!frontier) continue;
+      std::uint64_t newly = std::uint64_t{1} << v;
+      for (const Vertex w : g.neighbors(v)) newly |= std::uint64_t{1} << w;
+      const int gain = popcount(newly & ~dominated);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = v;
+      }
+    }
+    // No frontier candidate at all: the undominated region is unreachable
+    // within `allowed`. Zero-gain candidates are still taken — they can be
+    // the connectors that open a path toward undominated territory; the
+    // mask grows every iteration, so the loop terminates.
+    if (best < 0) return std::nullopt;
+    mask |= std::uint64_t{1} << best;
+    dominated |= dominated_by(g, root, mask);
+  }
+
+  // Prune to a minimal CDS (drop members whose removal keeps the property);
+  // smaller interiors leave more room for the second tree.
+  for (Vertex v = 0; v < g.size(); ++v) {
+    const std::uint64_t bit = std::uint64_t{1} << v;
+    if ((mask & bit) && is_connected_dominating(g, root, mask & ~bit)) {
+      mask &= ~bit;
+    }
+  }
+  assert(is_connected_dominating(g, root, mask));
+  return mask;
+}
+
+std::optional<IdtWitness> greedy_two_idt(const Graph& g, Vertex root) {
+  const std::uint64_t all =
+      g.size() == 63 ? ~std::uint64_t{0}
+                     : (std::uint64_t{1} << g.size()) - 1;
+  const auto a = greedy_cds(g, root, all);
+  if (!a) return std::nullopt;
+  const auto b = greedy_cds(g, root, all & ~*a);
+  if (!b) return std::nullopt;
+  return IdtWitness{.tree_a = tree_from_interior(g, root, *a),
+                    .tree_b = tree_from_interior(g, root, *b)};
+}
+
+}  // namespace streamcast::graph

@@ -1,0 +1,27 @@
+// Polynomial-time heuristic for the Two Interior-Disjoint Tree problem.
+//
+// The appendix proves the decision problem NP-complete on arbitrary graphs,
+// so a practical overlay builder needs a heuristic. Ours is greedy CDS
+// pairing: grow a connected dominating set A from the root (largest
+// coverage gain first), prune it minimal, then try to grow a second CDS B
+// inside V \ A \ {root}. A returned witness is always valid (sound); the
+// heuristic may miss solvable instances (incomplete) — the bench measures
+// how often, against the exact solver on small graphs.
+#pragma once
+
+#include <optional>
+
+#include "src/graph/idt_solver.hpp"
+
+namespace streamcast::graph {
+
+std::optional<IdtWitness> greedy_two_idt(const Graph& g, Vertex root);
+
+/// The greedy connected-dominating-set core: grows from `root` inside the
+/// allowed vertex set (bitmask over vertices, root need not be set), prunes
+/// to a minimal CDS, and returns the interior mask — or nullopt if even the
+/// full allowed set does not contain a CDS.
+std::optional<std::uint64_t> greedy_cds(const Graph& g, Vertex root,
+                                        std::uint64_t allowed);
+
+}  // namespace streamcast::graph

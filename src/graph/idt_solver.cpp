@@ -1,0 +1,68 @@
+#include "src/graph/idt_solver.hpp"
+
+#include <stdexcept>
+
+namespace streamcast::graph {
+
+namespace {
+
+/// Connected component of root within (mask ∪ {root}), as a bitmask
+/// including the root.
+std::uint64_t root_component(const Graph& g, Vertex root,
+                             std::uint64_t mask) {
+  const std::uint64_t set = mask | (std::uint64_t{1} << root);
+  std::uint64_t visited = std::uint64_t{1} << root;
+  std::vector<Vertex> stack{root};
+  while (!stack.empty()) {
+    const Vertex v = stack.back();
+    stack.pop_back();
+    for (const Vertex w : g.neighbors(v)) {
+      const std::uint64_t bit = std::uint64_t{1} << w;
+      if ((set & bit) != 0 && (visited & bit) == 0) {
+        visited |= bit;
+        stack.push_back(w);
+      }
+    }
+  }
+  return visited;
+}
+
+}  // namespace
+
+std::optional<IdtWitness> two_interior_disjoint_trees(const Graph& g,
+                                                      Vertex root) {
+  if (g.size() > 24) {
+    throw std::invalid_argument(
+        "exhaustive IDT solver limited to 24 vertices");
+  }
+  const std::uint64_t root_bit = std::uint64_t{1} << root;
+  const std::uint64_t universe =
+      (g.size() == 63 ? ~std::uint64_t{0}
+                      : (std::uint64_t{1} << g.size()) - 1) &
+      ~root_bit;
+
+  // Enumerate candidate interior sets A (subsets of V \ {root}).
+  for (std::uint64_t a = 0;; a = ((a | root_bit) + 1) & ~root_bit) {
+    if (is_connected_dominating(g, root, a)) {
+      // Does the complement contain a CDS? Take the root's component there.
+      const std::uint64_t rest = universe & ~a;
+      const std::uint64_t comp = root_component(g, root, rest) & ~root_bit;
+      if (is_connected_dominating(g, root, comp)) {
+        return IdtWitness{.tree_a = tree_from_interior(g, root, a),
+                          .tree_b = tree_from_interior(g, root, comp)};
+      }
+    }
+    if (a == universe) break;
+  }
+  return std::nullopt;
+}
+
+bool is_interior_disjoint_pair(const Graph& g, Vertex root,
+                               const std::vector<Vertex>& tree_a,
+                               const std::vector<Vertex>& tree_b) {
+  if (!is_spanning_tree(g, root, tree_a)) return false;
+  if (!is_spanning_tree(g, root, tree_b)) return false;
+  return (interior_mask(tree_a, root) & interior_mask(tree_b, root)) == 0;
+}
+
+}  // namespace streamcast::graph

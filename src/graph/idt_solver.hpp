@@ -1,0 +1,40 @@
+// Exact solver for the Two Interior-Disjoint Tree problem (paper appendix):
+// does an arbitrary graph G contain two spanning trees rooted at S whose
+// interior nodes are disjoint (the root may be interior in both)?
+//
+// Key reduction used by the solver: a spanning tree rooted at S with
+// interior set ⊆ A ∪ {S} exists iff A ∪ {S} is a connected dominating set.
+// So the question becomes: do two *disjoint* vertex sets A, B (both avoiding
+// S) exist such that both A ∪ {S} and B ∪ {S} are connected dominating sets?
+//
+// Exhaustive over subsets A of V \ {S}; for the complement side we use the
+// component trick: X contains a CDS iff the connected component of S inside
+// X ∪ {S} is itself dominating (any CDS inside X lies in that component,
+// and supersets within the component stay connected and dominating).
+// Complexity O(2^(n-1) * (V + E)) — the instances the NP-completeness
+// experiment builds are small by design.
+#pragma once
+
+#include <optional>
+
+#include "src/graph/graph.hpp"
+
+namespace streamcast::graph {
+
+struct IdtWitness {
+  std::vector<Vertex> tree_a;  // parent arrays
+  std::vector<Vertex> tree_b;
+};
+
+/// Returns a witness pair of interior-disjoint spanning trees rooted at
+/// root, or nullopt when none exists.
+std::optional<IdtWitness> two_interior_disjoint_trees(const Graph& g,
+                                                      Vertex root);
+
+/// Verifies a candidate pair: both spanning trees rooted at root, interiors
+/// disjoint outside the root.
+bool is_interior_disjoint_pair(const Graph& g, Vertex root,
+                               const std::vector<Vertex>& tree_a,
+                               const std::vector<Vertex>& tree_b);
+
+}  // namespace streamcast::graph

@@ -1,0 +1,47 @@
+#include "src/graph/reduction.hpp"
+
+namespace streamcast::graph {
+
+ReducedInstance reduce_to_idt(const SetSplittingInstance& inst) {
+  const int n = 1 + inst.elements + static_cast<int>(inst.sets.size());
+  ReducedInstance red{.graph = Graph(n),
+                      .root = 0,
+                      .elements = inst.elements,
+                      .sets = static_cast<int>(inst.sets.size())};
+  for (int e = 0; e < inst.elements; ++e) {
+    red.graph.add_edge(red.root, red.element_vertex(e));
+  }
+  for (int i = 0; i < red.sets; ++i) {
+    for (const int e : inst.sets[static_cast<std::size_t>(i)]) {
+      red.graph.add_edge(red.set_vertex(i), red.element_vertex(e));
+    }
+  }
+  return red;
+}
+
+bool reduced_has_two_idt(const ReducedInstance& red) {
+  // Element vertices occupy bits 1..elements.
+  const std::uint64_t all_elements =
+      ((std::uint64_t{1} << (red.elements + 1)) - 1) & ~std::uint64_t{1};
+  for (std::uint64_t a = 0;; a = ((a | ~all_elements) + 1) & all_elements) {
+    if (is_connected_dominating(red.graph, red.root, a) &&
+        is_connected_dominating(red.graph, red.root, all_elements & ~a)) {
+      return true;
+    }
+    if (a == all_elements) break;
+  }
+  return false;
+}
+
+std::uint64_t interior_mask_from_splitting(const ReducedInstance& red,
+                                           std::uint64_t v1) {
+  std::uint64_t mask = 0;
+  for (int e = 0; e < red.elements; ++e) {
+    if ((v1 >> e) & 1) {
+      mask |= std::uint64_t{1} << red.element_vertex(e);
+    }
+  }
+  return mask;
+}
+
+}  // namespace streamcast::graph

@@ -1,0 +1,42 @@
+// The paper's reduction from E4 Set Splitting to Two Interior-Disjoint
+// Trees (appendix): a bipartite graph with one vertex per element (all
+// adjacent to a root r) plus one vertex x_i per set R_i adjacent to R_i's
+// four elements. The instance is splittable iff the reduced graph has two
+// interior-disjoint spanning trees rooted at r.
+#pragma once
+
+#include "src/graph/graph.hpp"
+#include "src/graph/set_splitting.hpp"
+
+namespace streamcast::graph {
+
+/// Vertex layout of the reduced graph: 0 = root r, 1..elements = element
+/// vertices, elements+1 .. elements+sets = set vertices x_i.
+struct ReducedInstance {
+  Graph graph;
+  Vertex root = 0;
+  int elements = 0;
+  int sets = 0;
+
+  Vertex element_vertex(int e) const { return 1 + e; }
+  Vertex set_vertex(int i) const { return 1 + elements + i; }
+};
+
+ReducedInstance reduce_to_idt(const SetSplittingInstance& inst);
+
+/// Translates a splitting witness into the interior mask of the first tree
+/// (V1's element vertices).
+std::uint64_t interior_mask_from_splitting(const ReducedInstance& red,
+                                           std::uint64_t v1);
+
+/// Exact decision of Two Interior-Disjoint Trees specialized to reduced
+/// graphs, independent of both the generic solver and the set-splitting
+/// brute force. Uses the paper's leaf-normalization lemma: any set vertex
+/// x_i in a tree's interior can be re-hung as a leaf (its children are
+/// elements, all adjacent to the root), so it suffices to enumerate
+/// element-vertex interior sets and test the connected-dominating property
+/// on the actual graph. O(2^elements * (V+E)) — handles the unsplittable
+/// complete C(7,4) instance the generic 2^(V-1) solver cannot.
+bool reduced_has_two_idt(const ReducedInstance& red);
+
+}  // namespace streamcast::graph

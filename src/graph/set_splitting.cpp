@@ -1,0 +1,62 @@
+#include "src/graph/set_splitting.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace streamcast::graph {
+
+bool is_valid_splitting(const SetSplittingInstance& inst, std::uint64_t v1) {
+  for (const auto& r : inst.sets) {
+    bool in1 = false;
+    bool in2 = false;
+    for (const int e : r) {
+      if ((v1 >> e) & 1) {
+        in1 = true;
+      } else {
+        in2 = true;
+      }
+    }
+    if (!in1 || !in2) return false;
+  }
+  return true;
+}
+
+std::optional<std::uint64_t> solve_set_splitting(
+    const SetSplittingInstance& inst) {
+  if (inst.elements < 1 || inst.elements > 24) {
+    throw std::invalid_argument("brute-force splitter limited to 24 elements");
+  }
+  // Splitting is symmetric under swapping V1/V2, so pin element 0 into V1.
+  const std::uint64_t half = std::uint64_t{1}
+                             << (inst.elements - 1);
+  for (std::uint64_t rest = 0; rest < half; ++rest) {
+    const std::uint64_t v1 = (rest << 1) | 1;
+    if (is_valid_splitting(inst, v1)) return v1;
+  }
+  return std::nullopt;
+}
+
+SetSplittingInstance random_instance(int elements, int sets,
+                                     util::Prng& rng) {
+  if (elements < 4) throw std::invalid_argument("E4 needs >= 4 elements");
+  SetSplittingInstance inst;
+  inst.elements = elements;
+  inst.sets.reserve(static_cast<std::size_t>(sets));
+  for (int i = 0; i < sets; ++i) {
+    std::array<int, 4> r{};
+    int filled = 0;
+    while (filled < 4) {
+      const int e = static_cast<int>(
+          rng.below(static_cast<std::uint64_t>(elements)));
+      if (std::find(r.begin(), r.begin() + filled, e) ==
+          r.begin() + filled) {
+        r[static_cast<std::size_t>(filled++)] = e;
+      }
+    }
+    std::sort(r.begin(), r.end());
+    inst.sets.push_back(r);
+  }
+  return inst;
+}
+
+}  // namespace streamcast::graph

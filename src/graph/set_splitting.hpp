@@ -1,0 +1,33 @@
+// E4 Set Splitting (Håstad): given elements V and 4-element sets R_i, split
+// V into V1/V2 so every R_i meets both sides. The paper reduces this known
+// NP-complete problem to Two Interior-Disjoint Trees.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/util/prng.hpp"
+
+namespace streamcast::graph {
+
+struct SetSplittingInstance {
+  int elements = 0;                          // V = {0, ..., elements-1}
+  std::vector<std::array<int, 4>> sets;      // each R_i: 4 distinct elements
+};
+
+/// Brute-force decision + witness: bitmask of V1 (element i in V1 iff bit i
+/// set), or nullopt when unsplittable. Exhaustive over 2^(elements-1)
+/// (element 0 pinned to V1 by symmetry).
+std::optional<std::uint64_t> solve_set_splitting(
+    const SetSplittingInstance& inst);
+
+/// True iff the V1 mask splits every set.
+bool is_valid_splitting(const SetSplittingInstance& inst, std::uint64_t v1);
+
+/// Random instance with the given counts (sets drawn uniformly without
+/// within-set repetition). elements must be >= 4.
+SetSplittingInstance random_instance(int elements, int sets, util::Prng& rng);
+
+}  // namespace streamcast::graph

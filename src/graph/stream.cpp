@@ -1,0 +1,110 @@
+#include "src/graph/stream.hpp"
+
+#include <stdexcept>
+
+#include "src/util/ints.hpp"
+
+namespace streamcast::graph {
+
+namespace {
+
+std::vector<std::vector<Vertex>> children_of(const std::vector<Vertex>& parent) {
+  std::vector<std::vector<Vertex>> kids(parent.size());
+  for (std::size_t v = 0; v < parent.size(); ++v) {
+    if (parent[v] >= 0) {
+      kids[static_cast<std::size_t>(parent[v])].push_back(
+          static_cast<Vertex>(v));
+    }
+  }
+  return kids;
+}
+
+/// ceil(c/2) sends per slot sustain c copies of a description every 2
+/// slots; the root carries both descriptions.
+std::vector<int> required_capacity(const Graph& g, Vertex root,
+                                   const IdtWitness& trees) {
+  const auto kids_a = children_of(trees.tree_a);
+  const auto kids_b = children_of(trees.tree_b);
+  std::vector<int> cap(static_cast<std::size_t>(g.size()), 1);
+  for (Vertex v = 0; v < g.size(); ++v) {
+    const auto ca = static_cast<std::int64_t>(
+        kids_a[static_cast<std::size_t>(v)].size());
+    const auto cb = static_cast<std::int64_t>(
+        kids_b[static_cast<std::size_t>(v)].size());
+    const std::int64_t need =
+        v == root ? util::ceil_div(ca + cb, 2)
+                  : std::max(util::ceil_div(ca, 2), util::ceil_div(cb, 2));
+    cap[static_cast<std::size_t>(v)] =
+        static_cast<int>(std::max<std::int64_t>(need, 1));
+  }
+  return cap;
+}
+
+}  // namespace
+
+TwoTreeStreamTopology::TwoTreeStreamTopology(const Graph& g, Vertex root,
+                                             const IdtWitness& trees)
+    : n_(g.size()), root_(root), send_cap_(required_capacity(g, root, trees)) {}
+
+int TwoTreeStreamTopology::send_capacity(sim::NodeKey v) const {
+  return send_cap_[static_cast<std::size_t>(v)];
+}
+
+int TwoTreeStreamTopology::recv_capacity(sim::NodeKey v) const {
+  // Both descriptions can land in the same slot; the root receives nothing.
+  return v == root_ ? 0 : 2;
+}
+
+int TwoTreeStreamTopology::max_required_uplink() const {
+  int best = 0;
+  for (sim::NodeKey v = 0; v < n_; ++v) {
+    if (v == root_) continue;
+    best = std::max(best, send_cap_[static_cast<std::size_t>(v)]);
+  }
+  return best;
+}
+
+TwoTreeStreamProtocol::TwoTreeStreamProtocol(const Graph& g, Vertex root,
+                                             IdtWitness trees)
+    : root_(root),
+      kids_a_(children_of(trees.tree_a)),
+      kids_b_(children_of(trees.tree_b)),
+      queue_(static_cast<std::size_t>(g.size())),
+      capacity_(required_capacity(g, root, trees)) {
+  if (!is_interior_disjoint_pair(g, root, trees.tree_a, trees.tree_b)) {
+    throw std::invalid_argument("not an interior-disjoint spanning pair");
+  }
+}
+
+void TwoTreeStreamProtocol::transmit(Slot t, std::vector<Tx>& out) {
+  // The root originates packet t: description t mod 2, copies queued for
+  // that tree's root children.
+  const auto& kids = (t % 2 == 0) ? kids_a_ : kids_b_;
+  for (const Vertex child : kids[static_cast<std::size_t>(root_)]) {
+    queue_[static_cast<std::size_t>(root_)].push_back(
+        Pending{.to = child, .packet = t});
+  }
+  // Every vertex drains its FIFO up to its capacity.
+  for (std::size_t v = 0; v < queue_.size(); ++v) {
+    auto& q = queue_[v];
+    for (int s = 0; s < capacity_[v] && !q.empty(); ++s) {
+      const Pending p = q.front();
+      q.pop_front();
+      out.push_back(Tx{.from = static_cast<sim::NodeKey>(v),
+                       .to = p.to,
+                       .packet = p.packet,
+                       .tag = static_cast<std::int32_t>(p.packet % 2)});
+    }
+  }
+}
+
+void TwoTreeStreamProtocol::deliver(Slot t, const Tx& tx) {
+  (void)t;
+  const auto& kids = (tx.packet % 2 == 0) ? kids_a_ : kids_b_;
+  for (const Vertex child : kids[static_cast<std::size_t>(tx.to)]) {
+    queue_[static_cast<std::size_t>(tx.to)].push_back(
+        Pending{.to = child, .packet = tx.packet});
+  }
+}
+
+}  // namespace streamcast::graph

@@ -1,0 +1,76 @@
+#include "src/hypercube/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace streamcast::hypercube {
+
+Slot worst_delay(NodeKey n) {
+  const auto chain = decompose_chain(n);
+  return chain.back().playback_delay();
+}
+
+Slot measured_worst_delay(NodeKey n) {
+  Slot worst = 0;
+  for (const Segment& seg : decompose_chain(n)) {
+    worst = std::max(worst, seg.worst_member_delay());
+  }
+  return worst;
+}
+
+Slot measured_worst_delay_grouped(NodeKey n, int d) {
+  Slot worst = 0;
+  for (const Group& g : decompose_grouped(n, d)) {
+    for (const Segment& seg : g.chain) {
+      worst = std::max(worst, seg.worst_member_delay());
+    }
+  }
+  return worst;
+}
+
+double average_delay(NodeKey n) {
+  const auto chain = decompose_chain(n);
+  double sum = 0;
+  for (const Segment& seg : chain) {
+    sum += static_cast<double>(seg.receivers()) *
+           static_cast<double>(seg.playback_delay());
+  }
+  return sum / static_cast<double>(n);
+}
+
+double theorem4_bound(NodeKey n) {
+  return 2.0 * std::log2(static_cast<double>(n));
+}
+
+Slot worst_delay_grouped(NodeKey n, int d) {
+  Slot worst = 0;
+  for (const Group& g : decompose_grouped(n, d)) {
+    worst = std::max(worst, g.chain.back().playback_delay());
+  }
+  return worst;
+}
+
+double average_delay_grouped(NodeKey n, int d) {
+  double sum = 0;
+  for (const Group& g : decompose_grouped(n, d)) {
+    for (const Segment& seg : g.chain) {
+      sum += static_cast<double>(seg.receivers()) *
+             static_cast<double>(seg.playback_delay());
+    }
+  }
+  return sum / static_cast<double>(n);
+}
+
+int neighbor_bound(NodeKey n) {
+  const auto chain = decompose_chain(n);
+  int bound = 0;
+  for (std::size_t s = 0; s < chain.size(); ++s) {
+    int b = chain[s].k;                       // cube neighbors
+    if (s + 1 < chain.size()) b += chain[s + 1].k;  // downstream targets
+    if (s > 0) b += chain[s - 1].k;                  // upstream feeders
+    bound = std::max(bound, b);
+  }
+  return bound;
+}
+
+}  // namespace streamcast::hypercube

@@ -1,0 +1,38 @@
+// Closed-form QoS of the hypercube schemes: Propositions 1-2 and Theorem 4.
+#pragma once
+
+#include "src/hypercube/arbitrary.hpp"
+#include "src/hypercube/grouped.hpp"
+
+namespace streamcast::hypercube {
+
+/// Worst-case playback delay of the single-chain scheme under synchronized
+/// starts: the last segment's start_last + k_last. O(log^2 N) (Proposition
+/// 2); for special N = 2^k - 1 this is exactly k (Proposition 1).
+Slot worst_delay(NodeKey n);
+
+/// Largest individually-feasible start over all nodes (what a simulation
+/// measures): max over segments of worst_member_delay(). Always <=
+/// worst_delay(n).
+Slot measured_worst_delay(NodeKey n);
+Slot measured_worst_delay_grouped(NodeKey n, int d);
+
+/// Average playback delay of the single-chain scheme (segment delays
+/// weighted by segment sizes). Theorem 4 bounds this by 2*log2(N).
+double average_delay(NodeKey n);
+
+/// Theorem 4's bound, 2*log2(N).
+double theorem4_bound(NodeKey n);
+
+/// Same metrics for the d-group variant (§3.2 end): the worst/average over
+/// groups of size ~N/d.
+Slot worst_delay_grouped(NodeKey n, int d);
+double average_delay_grouped(NodeKey n, int d);
+
+/// Upper bound on the number of distinct neighbors of any receiver in the
+/// single-chain scheme: its k_s cube neighbors, plus (for segment s feeders)
+/// up to k_(s+1) downstream targets, plus (for entry vertices) up to k_(s-1)
+/// upstream feeders. O(log N).
+int neighbor_bound(NodeKey n);
+
+}  // namespace streamcast::hypercube

@@ -1,0 +1,28 @@
+#include "src/hypercube/arbitrary.hpp"
+
+#include <stdexcept>
+
+#include "src/util/ints.hpp"
+
+namespace streamcast::hypercube {
+
+std::vector<Segment> decompose_chain(NodeKey n, NodeKey first_key,
+                                     Slot first_start) {
+  if (n < 1) throw std::invalid_argument("need at least one receiver");
+  std::vector<Segment> chain;
+  NodeKey key = first_key;
+  Slot start = first_start;
+  NodeKey remaining = n;
+  while (remaining > 0) {
+    const int k =
+        util::floor_log2(static_cast<std::uint64_t>(remaining) + 1);
+    chain.push_back(Segment{.k = k, .start = start, .first = key});
+    const NodeKey taken = cube_receivers(k);
+    remaining -= taken;
+    key += taken;
+    start += k;
+  }
+  return chain;
+}
+
+}  // namespace streamcast::hypercube

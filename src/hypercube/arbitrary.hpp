@@ -1,0 +1,57 @@
+// Multi-hypercube decomposition for arbitrary N (§3.2).
+//
+// N receivers are split into a chain of full cubes: the first takes
+// N_1 = 2^(k_1) - 1 nodes with k_1 = floor(log2(N+1)), and the remainder
+// recurses. Segment s starts its local clock at
+//     start_s = start_(s-1) + k_(s-1)
+// because its packets are injected by the *feeder* of segment s-1: in
+// segment local slot tau, the vertex paired with the (possibly virtual)
+// source, 2^(tau mod k), receives packet tau from upstream and has no
+// in-cube send of its own — so it forwards the packet the cube just finished
+// (tau - k) downstream. The packet index expected by segment s+1 at global
+// slot t is exactly tau_s - k_s, so the chain composes with no buffering.
+//
+// Every node of segment s can play packet m in global slot start_s + m + k_s
+// (cube-wide consumption), giving worst-case delay start_last + k_last =
+// O(log^2 N) with O(1) buffers and O(log N) neighbors (Proposition 2).
+#pragma once
+
+#include <vector>
+
+#include "src/hypercube/cube.hpp"
+
+namespace streamcast::hypercube {
+
+/// One cube of a chain. Receivers occupy node keys
+/// [first, first + cube_receivers(k)); vertex v (1 <= v < 2^k) is the node
+/// with key first + v - 1. Vertex 0 is the source for the first segment and
+/// a virtual role (played by the upstream feeder) afterwards.
+struct Segment {
+  int k = 0;
+  Slot start = 0;
+  NodeKey first = 0;
+
+  NodeKey receivers() const { return cube_receivers(k); }
+  NodeKey key_of(Vertex v) const {
+    return first + static_cast<NodeKey>(v) - 1;
+  }
+  /// Global slot in which packet m is consumed cube-wide; also every
+  /// member's playback start under the scheme's synchronized schedule.
+  Slot consume_slot(sim::PacketId m) const { return start + m + k; }
+  /// Synchronized playback delay: every member can start at start + k.
+  Slot playback_delay() const { return start + k; }
+  /// Largest *individually feasible* start among members: for k >= 2 the
+  /// entry vertices only complete their windows at the consumption slot,
+  /// so the worst member equals the synchronized delay; a k = 1 segment's
+  /// single node receives every packet directly (delay = start).
+  Slot worst_member_delay() const { return k == 1 ? start : start + k; }
+
+  friend bool operator==(const Segment&, const Segment&) = default;
+};
+
+/// Chain decomposition of n receivers with keys starting at `first_key`
+/// and local clocks starting at `first_start`.
+std::vector<Segment> decompose_chain(NodeKey n, NodeKey first_key = 1,
+                                     Slot first_start = 0);
+
+}  // namespace streamcast::hypercube

@@ -1,0 +1,19 @@
+#include "src/hypercube/cube.hpp"
+
+#include <cassert>
+
+namespace streamcast::hypercube {
+
+std::vector<std::pair<Vertex, Vertex>> pairs_along(int k, int j) {
+  assert(k >= 1 && j >= 0 && j < k);
+  std::vector<std::pair<Vertex, Vertex>> out;
+  const Vertex total = Vertex{1} << k;
+  const Vertex bit = Vertex{1} << j;
+  out.reserve(total / 2);
+  for (Vertex v = 0; v < total; ++v) {
+    if ((v & bit) == 0) out.emplace_back(v, v | bit);
+  }
+  return out;
+}
+
+}  // namespace streamcast::hypercube

@@ -1,0 +1,48 @@
+// Hypercube pairing arithmetic (§3.1).
+//
+// The 2^k participants of a cube (the source plus N = 2^k - 1 receivers) are
+// vertices of a k-dimensional hypercube. In local slot t every vertex is
+// paired with its neighbor along dimension j = t mod k, and each pair may
+// exchange one packet in each direction. (The paper presents the dimension
+// order with an offset — slot 3n pairs dimension 2 in its k = 3 example —
+// which only relabels slots; we use j = t mod k throughout.)
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/sim/packet.hpp"
+
+namespace streamcast::hypercube {
+
+using sim::NodeKey;
+using sim::Slot;
+using Vertex = std::uint32_t;
+
+/// Dimension paired in local slot t of a k-cube.
+constexpr int dimension_of(Slot t, int k) {
+  return static_cast<int>(t % k);
+}
+
+/// Partner of vertex v along dimension j.
+constexpr Vertex partner(Vertex v, int j) {
+  return v ^ (Vertex{1} << j);
+}
+
+/// All pairs (low, high) of a k-cube along dimension j, 2^(k-1) of them,
+/// low-vertex ascending. Includes the (0, 2^j) pair containing the source.
+std::vector<std::pair<Vertex, Vertex>> pairs_along(int k, int j);
+
+/// Number of receivers in a full k-cube (source excluded): 2^k - 1.
+constexpr sim::NodeKey cube_receivers(int k) {
+  return static_cast<sim::NodeKey>((std::int64_t{1} << k) - 1);
+}
+
+/// True iff n == 2^k - 1 for some k >= 1 (the "special N" of §3.1).
+constexpr bool is_special_n(sim::NodeKey n) {
+  return n >= 1 && ((static_cast<std::uint64_t>(n) + 1) &
+                    static_cast<std::uint64_t>(n)) == 0;
+}
+
+}  // namespace streamcast::hypercube

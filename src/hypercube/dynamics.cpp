@@ -1,0 +1,89 @@
+#include "src/hypercube/dynamics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace streamcast::hypercube {
+
+HypercubeMembership::HypercubeMembership(NodeKey initial_n)
+    : n_(initial_n), chain_(decompose_chain(initial_n)) {
+  if (initial_n < 1) throw std::invalid_argument("need at least one peer");
+  peer_.assign(static_cast<std::size_t>(n_) + 1, kNoPeer);
+  for (NodeKey rank = 1; rank <= n_; ++rank) peer_[static_cast<std::size_t>(
+      rank)] = next_peer_++;
+}
+
+PeerId HypercubeMembership::peer_at(NodeKey rank) const {
+  if (rank < 1 || rank > n_) return kNoPeer;
+  return peer_[static_cast<std::size_t>(rank)];
+}
+
+NodeKey HypercubeMembership::rank_of(PeerId peer) const {
+  for (NodeKey rank = 1; rank <= n_; ++rank) {
+    if (peer_[static_cast<std::size_t>(rank)] == peer) return rank;
+  }
+  return -1;
+}
+
+HypercubeMembership::Role HypercubeMembership::role_of(
+    const std::vector<Segment>& chain, NodeKey rank) {
+  for (const Segment& seg : chain) {
+    if (rank < seg.first + seg.receivers()) {
+      return Role{.first = seg.first,
+                  .k = seg.k,
+                  .vertex = static_cast<Vertex>(rank - seg.first + 1)};
+    }
+  }
+  return Role{};  // unreachable for valid ranks
+}
+
+NodeKey roles_changed(NodeKey n, NodeKey n_after) {
+  const auto before = decompose_chain(n);
+  const auto after = decompose_chain(n_after);
+  const NodeKey shared = std::min(n, n_after);
+  NodeKey changed = 0;
+  for (NodeKey rank = 1; rank <= shared; ++rank) {
+    if (!(HypercubeMembership::role_of(before, rank) ==
+          HypercubeMembership::role_of(after, rank))) {
+      ++changed;
+    }
+  }
+  return changed;
+}
+
+void HypercubeMembership::reseat(NodeKey new_n) {
+  const auto next = decompose_chain(new_n);
+  const NodeKey shared = std::min(n_, new_n);
+  for (NodeKey rank = 1; rank <= shared; ++rank) {
+    if (!(role_of(chain_, rank) == role_of(next, rank))) ++stats_.role_moves;
+  }
+  if (!chain_.empty() && !next.empty() && chain_[0].k != next[0].k) {
+    ++stats_.full_reseats;
+  }
+  chain_ = next;
+  n_ = new_n;
+  peer_.resize(static_cast<std::size_t>(new_n) + 1, kNoPeer);
+}
+
+PeerId HypercubeMembership::add() {
+  ++stats_.operations;
+  reseat(n_ + 1);
+  const PeerId peer = next_peer_++;
+  peer_[static_cast<std::size_t>(n_)] = peer;
+  return peer;
+}
+
+void HypercubeMembership::remove(PeerId peer) {
+  ++stats_.operations;
+  if (n_ <= 1) throw std::logic_error("cannot remove the last peer");
+  const NodeKey rank = rank_of(peer);
+  if (rank < 0) throw std::invalid_argument("unknown peer");
+  if (rank != n_) {
+    peer_[static_cast<std::size_t>(rank)] =
+        peer_[static_cast<std::size_t>(n_)];
+    ++stats_.rank_moves;
+  }
+  reseat(n_ - 1);
+}
+
+}  // namespace streamcast::hypercube

@@ -1,0 +1,77 @@
+// Node dynamics for the hypercube chain — the paper's declared future work
+// ("Our ongoing efforts include constructing algorithms for dealing with
+// node dynamics in the context of the hypercube-based scheme").
+//
+// We implement the natural membership algorithm and quantify why the
+// problem is hard. Peers hold ranks 1..N; the chain decomposition maps rank
+// r to a (cube, vertex) role. On departure, the last-ranked peer fills the
+// hole (one rank move, like the multi-tree's Step 1); then the chain is
+// re-derived for the new N. Because decompose_chain is greedy-prefix-stable,
+// all cubes before the first size change keep their members; the disruption
+// is confined to the tail — except when N crosses 2^k boundaries, where the
+// leading cube's dimension changes and *everyone* is re-seated. That cliff
+// is precisely what makes O(log N)-delay/O(1)-buffer/O(log N)-neighbor
+// churn-tolerant schemes an open problem (§4).
+#pragma once
+
+#include <vector>
+
+#include "src/hypercube/arbitrary.hpp"
+
+namespace streamcast::hypercube {
+
+using PeerId = std::int64_t;
+inline constexpr PeerId kNoPeer = -1;
+
+struct HypercubeChurnStats {
+  std::int64_t operations = 0;
+  /// Rank relabels (a surviving peer inherits a departed rank).
+  std::int64_t rank_moves = 0;
+  /// Peers whose (cube, vertex) role changed because the decomposition's
+  /// tail was re-derived.
+  std::int64_t role_moves = 0;
+  /// Events where the leading cube's dimension changed (full re-seating).
+  std::int64_t full_reseats = 0;
+
+  std::int64_t total_moves() const { return rank_moves + role_moves; }
+};
+
+class HypercubeMembership {
+ public:
+  explicit HypercubeMembership(NodeKey initial_n);
+
+  PeerId add();
+  void remove(PeerId peer);
+
+  NodeKey n() const { return n_; }
+  const std::vector<Segment>& chain() const { return chain_; }
+  PeerId peer_at(NodeKey rank) const;
+  NodeKey rank_of(PeerId peer) const;
+
+  const HypercubeChurnStats& stats() const { return stats_; }
+
+  /// (cube ordinal, vertex) role of a rank under a given chain.
+  struct Role {
+    NodeKey first = 0;
+    int k = 0;
+    Vertex vertex = 0;
+    friend bool operator==(const Role&, const Role&) = default;
+  };
+  static Role role_of(const std::vector<Segment>& chain, NodeKey rank);
+
+ private:
+  void reseat(NodeKey new_n);
+
+  NodeKey n_ = 0;
+  std::vector<Segment> chain_;
+  std::vector<PeerId> peer_;  // [rank] -> peer, index 0 unused
+  PeerId next_peer_ = 1;
+  HypercubeChurnStats stats_;
+};
+
+/// Closed-form disruption of one membership change at size n: the number of
+/// ranks whose role differs between decompose_chain(n) and
+/// decompose_chain(n + delta).
+NodeKey roles_changed(NodeKey n, NodeKey n_after);
+
+}  // namespace streamcast::hypercube

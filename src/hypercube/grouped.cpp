@@ -1,0 +1,25 @@
+#include "src/hypercube/grouped.hpp"
+
+#include <stdexcept>
+
+namespace streamcast::hypercube {
+
+std::vector<Group> decompose_grouped(NodeKey n, int d) {
+  if (n < 1) throw std::invalid_argument("need at least one receiver");
+  if (d < 1) throw std::invalid_argument("d < 1");
+  std::vector<Group> groups;
+  const int used = static_cast<int>(std::min<NodeKey>(d, n));
+  NodeKey key = 1;
+  NodeKey remaining = n;
+  for (int g = 0; g < used; ++g) {
+    // Even split: the first (n mod used) groups take one extra node.
+    const NodeKey size = remaining / (used - g) +
+                         (remaining % (used - g) != 0 ? 1 : 0);
+    groups.push_back(Group{.chain = decompose_chain(size, key, 0)});
+    key += size;
+    remaining -= size;
+  }
+  return groups;
+}
+
+}  // namespace streamcast::hypercube

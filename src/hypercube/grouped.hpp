@@ -1,0 +1,22 @@
+// The d-group hypercube variant (§3.2, final paragraph): when the source can
+// send d packets per slot (as in the multi-tree setting), the N nodes are
+// divided as evenly as possible into d groups, and the chain scheme runs in
+// each group independently — every group receives the full stream directly
+// from the source. Bounds become O(log^2(N/d)) worst-case delay and
+// O(log(N/d)) neighbors.
+#pragma once
+
+#include "src/hypercube/arbitrary.hpp"
+
+namespace streamcast::hypercube {
+
+/// One independently-fed chain.
+struct Group {
+  std::vector<Segment> chain;
+};
+
+/// Splits n receivers into d groups of size ceil(n/d) or floor(n/d), keys
+/// assigned consecutively group by group.
+std::vector<Group> decompose_grouped(NodeKey n, int d);
+
+}  // namespace streamcast::hypercube

@@ -1,0 +1,126 @@
+#include "src/hypercube/protocol.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace streamcast::hypercube {
+
+HypercubeProtocol::HypercubeProtocol(std::vector<std::vector<Segment>> chains,
+                                     NodeKey source_key)
+    : source_key_(source_key) {
+  if (chains.empty()) throw std::invalid_argument("need at least one chain");
+  NodeKey max_key = 0;
+  for (const auto& chain : chains) {
+    if (chain.empty()) throw std::invalid_argument("empty chain");
+    std::vector<SegState> states;
+    states.reserve(chain.size());
+    for (const Segment& seg : chain) {
+      if (seg.k < 1) throw std::invalid_argument("segment dimension < 1");
+      states.push_back(SegState{.seg = seg, .next_consume = 0});
+      max_key = std::max(max_key, seg.first + seg.receivers() - 1);
+      receivers_ += seg.receivers();
+    }
+    chains_.push_back(std::move(states));
+  }
+  held_.resize(static_cast<std::size_t>(std::max(max_key, source_key_)) + 1);
+  failed_.resize(held_.size(), false);
+}
+
+void HypercubeProtocol::fail_node(NodeKey key) {
+  failed_[static_cast<std::size_t>(key)] = true;
+}
+
+std::size_t HypercubeProtocol::buffered(NodeKey key) const {
+  return held_[static_cast<std::size_t>(key)].size();
+}
+
+void HypercubeProtocol::transmit(Slot t, std::vector<Tx>& out) {
+  // Phase 1: retire packets whose cube-wide consumption slot has passed.
+  for (auto& chain : chains_) {
+    for (auto& st : chain) {
+      while (st.seg.consume_slot(st.next_consume) < t) {
+        for (NodeKey key = st.seg.first;
+             key < st.seg.first + st.seg.receivers(); ++key) {
+          held_[static_cast<std::size_t>(key)].erase(st.next_consume);
+        }
+        ++st.next_consume;
+      }
+    }
+  }
+
+  // Phase 2: injections and pairwise exchanges.
+  for (std::size_t c = 0; c < chains_.size(); ++c) {
+    auto& chain = chains_[c];
+    const auto tag = static_cast<std::int32_t>(c);
+    for (std::size_t s = 0; s < chain.size(); ++s) {
+      const Segment& seg = chain[s].seg;
+      const Slot tau = t - seg.start;
+      if (tau < 0) break;  // later segments start even later
+      const int j = dimension_of(tau, seg.k);
+      const Vertex entry = Vertex{1} << j;
+
+      // Injection into this segment: packet tau, into vertex 2^j.
+      NodeKey sender = source_key_;
+      if (s > 0) {
+        const Segment& up = chain[s - 1].seg;
+        const Slot up_tau = t - up.start;
+        const Vertex feeder = Vertex{1} << dimension_of(up_tau, up.k);
+        sender = up.key_of(feeder);
+        // The feeder forwards the packet its cube consumed last slot; the
+        // chain's start offsets make that exactly tau.
+        assert(up_tau - up.k == tau);
+        assert(failed_[static_cast<std::size_t>(sender)] ||
+               held_[static_cast<std::size_t>(sender)].contains(tau));
+      }
+      const NodeKey entry_key = seg.key_of(entry);
+      if (!failed_[static_cast<std::size_t>(sender)] &&
+          !failed_[static_cast<std::size_t>(entry_key)]) {
+        out.push_back(Tx{.from = sender,
+                         .to = entry_key,
+                         .packet = tau,
+                         .tag = tag});
+      }
+
+      // In-cube exchanges along dimension j (skip the pair containing
+      // vertex 0, handled above as the injection).
+      const Vertex total = Vertex{1} << seg.k;
+      const Vertex bit = Vertex{1} << j;
+      for (Vertex v = 1; v < total; ++v) {
+        if ((v & bit) != 0) continue;
+        const Vertex w = v | bit;
+        const NodeKey a = seg.key_of(v);
+        const NodeKey b = seg.key_of(w);
+        const bool a_ok = !failed_[static_cast<std::size_t>(a)];
+        const bool b_ok = !failed_[static_cast<std::size_t>(b)];
+        const auto& ha = held_[static_cast<std::size_t>(a)];
+        const auto& hb = held_[static_cast<std::size_t>(b)];
+        if (a_ok && b_ok) {
+          for (const PacketId p : ha) {
+            if (!hb.contains(p)) {
+              out.push_back(Tx{.from = a, .to = b, .packet = p, .tag = tag});
+              break;
+            }
+          }
+          for (const PacketId p : hb) {
+            if (!ha.contains(p)) {
+              out.push_back(Tx{.from = b, .to = a, .packet = p, .tag = tag});
+              break;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void HypercubeProtocol::deliver(Slot t, const Tx& tx) {
+  (void)t;
+  auto& held = held_[static_cast<std::size_t>(tx.to)];
+  const bool fresh = held.insert(tx.packet).second;
+  assert(fresh && "hypercube exchange must be duplicate-free");
+  (void)fresh;
+  max_buffered_ = std::max(max_buffered_, held.size());
+}
+
+}  // namespace streamcast::hypercube

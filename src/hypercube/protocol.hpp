@@ -1,0 +1,72 @@
+// Hypercube streaming protocol for the slot engine (§3).
+//
+// Drives any set of independent chains (one for the plain arbitrary-N scheme
+// of §3.2, d of them for the grouped variant). Node keys: 0 = source,
+// receivers 1..N as assigned by the decomposition.
+//
+// Per slot t, per segment with local time tau = t - start >= 0 and pairing
+// dimension j = tau mod k:
+//   * Injection: the pair (0, 2^j). For the first segment the real source
+//     sends packet tau; for segment s >= 1 the feeder of segment s-1 (its
+//     own vertex paired with 0 this slot) sends packet tau, which is exactly
+//     the packet its cube consumed in the previous slot.
+//   * Exchange: every other pair (u, w) swaps at most one packet in each
+//     direction — each side sends the oldest packet it holds that the other
+//     lacks. This greedy rule realizes Figure 5's doubling invariant:
+//     at the end of slot t, packet m is held by min(2^(t-m), 2^k-1) nodes.
+//   * Consumption: packet m leaves every buffer of the segment after its
+//     cube-wide consumption slot start + m + k.
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "src/hypercube/arbitrary.hpp"
+#include "src/sim/protocol.hpp"
+
+namespace streamcast::hypercube {
+
+using sim::PacketId;
+using sim::Tx;
+
+class HypercubeProtocol final : public sim::Protocol {
+ public:
+  /// `source_key` is the node that injects fresh packets into each chain's
+  /// first segment: the global source 0 for single-cluster streaming, a
+  /// cluster's local root S'_i inside the super-tree composition.
+  explicit HypercubeProtocol(std::vector<std::vector<Segment>> chains,
+                             NodeKey source_key = 0);
+
+  void transmit(Slot t, std::vector<Tx>& out) override;
+  void deliver(Slot t, const Tx& tx) override;
+
+  /// Total receivers across all chains.
+  NodeKey receivers() const { return receivers_; }
+
+  /// Marks a receiver as crashed *before* running: it neither sends nor
+  /// receives from then on. Used by the resilience experiments — the cube
+  /// has no per-packet redundancy, so a failure shadows every packet's
+  /// doubling pattern (contrast with the multi-tree's d descriptions).
+  void fail_node(NodeKey key);
+
+  /// Packets currently buffered by a receiver (received, not yet consumed).
+  std::size_t buffered(NodeKey key) const;
+  /// Largest buffer ever observed across all receivers (Proposition 1/2's
+  /// O(1) claim, measured).
+  std::size_t max_buffered() const { return max_buffered_; }
+
+ private:
+  struct SegState {
+    Segment seg;
+    PacketId next_consume = 0;
+  };
+
+  std::vector<std::vector<SegState>> chains_;
+  NodeKey source_key_ = 0;
+  std::vector<std::set<PacketId>> held_;  // by node key; [source] unused
+  std::vector<bool> failed_;              // crashed receivers
+  NodeKey receivers_ = 0;
+  std::size_t max_buffered_ = 0;
+};
+
+}  // namespace streamcast::hypercube

@@ -1,0 +1,15 @@
+#include "src/hypercube/special.hpp"
+
+#include <algorithm>
+
+namespace streamcast::hypercube {
+
+std::int64_t expected_holders(int k, sim::PacketId m, Slot t) {
+  if (t < m) return 0;  // packet m is injected in slot m
+  const Slot age = t - m;
+  const std::int64_t all = cube_receivers(k);
+  if (age >= k) return all;  // fully distributed (and consumed at age == k)
+  return std::min<std::int64_t>(std::int64_t{1} << age, all);
+}
+
+}  // namespace streamcast::hypercube

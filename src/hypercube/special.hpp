@@ -1,0 +1,27 @@
+// The special case N = 2^k - 1 (§3.1, Proposition 1) — closed-form
+// expectations for the single-cube pipeline, used by tests and by the
+// Figure 5/6 reproductions.
+//
+// Steady-state invariant (Figure 5): at the end of slot t, packet m is held
+// by min(2^(t-m), 2^k - 1) receivers; packet m is consumed cube-wide at the
+// end of slot m + k, so every node can play packet m in slot m + k — a
+// playback delay of k slots with O(1) buffers and k neighbors.
+#pragma once
+
+#include "src/hypercube/cube.hpp"
+
+namespace streamcast::hypercube {
+
+/// Receivers holding packet m at the end of slot t (0 if not yet injected,
+/// saturating at 2^k - 1 when fully distributed).
+std::int64_t expected_holders(int k, sim::PacketId m, Slot t);
+
+/// Playback delay of every node in a full k-cube fed directly by the source
+/// (start slot of packet 0's playback under DESIGN.md §3 conventions).
+constexpr Slot special_playback_delay(int k) { return k; }
+
+/// Neighbors of a receiver: its k cube neighbors (the source is one of them
+/// for the k vertices adjacent to vertex 0).
+constexpr int special_neighbor_count(int k) { return k; }
+
+}  // namespace streamcast::hypercube

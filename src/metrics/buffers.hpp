@@ -1,0 +1,33 @@
+// Buffer-occupancy accounting, computed post-hoc from arrival times.
+//
+// Given a node's arrival slots for packets [0, window) and a playback start
+// slot a, the buffer *during* slot t holds every packet received by t and
+// not played strictly before t:  occ(t) = #{ j : recv(j) <= t } - max(0, t-a)
+// (clamped to the window). A packet therefore occupies the buffer through
+// its own playback slot, matching the paper's node-1 buffer-of-3 example.
+// Theorem 2's corollary says max_t occ(t) <= h*d when a <= h*d.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/metrics/delay.hpp"
+
+namespace streamcast::metrics {
+
+/// Maximum buffer occupancy over the whole run, given playback start `start`.
+/// `arrivals[j]` is the receive slot of packet j (all must be >= 0).
+std::size_t max_buffer_occupancy(std::span<const Slot> arrivals, Slot start);
+
+/// Full occupancy time series from slot 0 through the slot the last packet of
+/// the window is played; index t holds occ(t).
+std::vector<std::size_t> occupancy_series(std::span<const Slot> arrivals,
+                                          Slot start);
+
+/// Convenience: per-node maximum occupancy for nodes [from, to], playing each
+/// node at its own playback delay a(i) (the scheme's natural start).
+/// Precondition: each node's window is complete.
+std::vector<std::size_t> max_occupancies(const DelayRecorder& delays,
+                                         NodeKey from, NodeKey to);
+
+}  // namespace streamcast::metrics

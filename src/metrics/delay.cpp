@@ -1,0 +1,75 @@
+#include "src/metrics/delay.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace streamcast::metrics {
+
+DelayRecorder::DelayRecorder(NodeKey nodes, PacketId window)
+    : window_(window) {
+  assert(nodes >= 1);
+  assert(window >= 1);
+  arrival_.assign(static_cast<std::size_t>(nodes),
+                  std::vector<Slot>(static_cast<std::size_t>(window),
+                                    kNeverArrived));
+  missing_.assign(static_cast<std::size_t>(nodes), window);
+}
+
+void DelayRecorder::on_delivery(const Delivery& d) {
+  if (d.tx.packet >= window_) return;
+  if (d.tx.to >= nodes()) return;
+  auto& cell = arrival_[static_cast<std::size_t>(d.tx.to)]
+                       [static_cast<std::size_t>(d.tx.packet)];
+  if (cell == kNeverArrived) {
+    cell = d.received;
+    --missing_[static_cast<std::size_t>(d.tx.to)];
+  }
+}
+
+Slot DelayRecorder::arrival(NodeKey node, PacketId p) const {
+  assert(p >= 0 && p < window_);
+  return arrival_[static_cast<std::size_t>(node)][static_cast<std::size_t>(p)];
+}
+
+bool DelayRecorder::complete(NodeKey node) const {
+  return missing_[static_cast<std::size_t>(node)] == 0;
+}
+
+std::optional<Slot> DelayRecorder::playback_delay(NodeKey node) const {
+  if (!complete(node)) return std::nullopt;
+  const auto& row = arrival_[static_cast<std::size_t>(node)];
+  Slot a = 0;  // arrival(0) >= 0, so the max is never negative
+  for (PacketId j = 0; j < window_; ++j) {
+    a = std::max(a, row[static_cast<std::size_t>(j)] - j);
+  }
+  return a;
+}
+
+std::vector<Slot> DelayRecorder::delays(NodeKey from, NodeKey to) const {
+  std::vector<Slot> out;
+  out.reserve(static_cast<std::size_t>(to - from + 1));
+  for (NodeKey n = from; n <= to; ++n) {
+    const auto a = playback_delay(n);
+    if (!a) {
+      throw std::logic_error("node " + std::to_string(n) +
+                             " did not receive the full packet window");
+    }
+    out.push_back(*a);
+  }
+  return out;
+}
+
+Slot DelayRecorder::worst_delay(NodeKey from, NodeKey to) const {
+  const auto all = delays(from, to);
+  return *std::ranges::max_element(all);
+}
+
+double DelayRecorder::average_delay(NodeKey from, NodeKey to) const {
+  const auto all = delays(from, to);
+  double sum = 0;
+  for (const Slot a : all) sum += static_cast<double>(a);
+  return sum / static_cast<double>(all.size());
+}
+
+}  // namespace streamcast::metrics

@@ -1,0 +1,59 @@
+// Playback-delay accounting (§2.3 of the paper).
+//
+// The recorder observes deliveries for a fixed window of packets [0, window)
+// and computes, per node, the playback delay
+//     a(i) = max_j (recv_i(j) - j),
+// the smallest start slot such that playing packet j in slot a(i)+j never
+// stalls (a packet may play in the slot it arrives; DESIGN.md §3).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "src/sim/engine.hpp"
+
+namespace streamcast::metrics {
+
+using sim::Delivery;
+using sim::NodeKey;
+using sim::PacketId;
+using sim::Slot;
+
+inline constexpr Slot kNeverArrived = -1;
+
+class DelayRecorder final : public sim::DeliveryObserver {
+ public:
+  /// Tracks nodes [0, nodes) and packets [0, window). Deliveries outside the
+  /// window are ignored (the schemes stream forever; the window is where we
+  /// measure).
+  DelayRecorder(NodeKey nodes, PacketId window);
+
+  void on_delivery(const Delivery& d) override;
+
+  /// First arrival slot of packet p at node, or kNeverArrived.
+  Slot arrival(NodeKey node, PacketId p) const;
+
+  /// True iff node received every packet in the window.
+  bool complete(NodeKey node) const;
+
+  /// Playback delay a(node); nullopt until the node's window is complete.
+  std::optional<Slot> playback_delay(NodeKey node) const;
+
+  /// Worst / average playback delay over nodes [from, to] inclusive.
+  /// Precondition: every node in the range is complete.
+  Slot worst_delay(NodeKey from, NodeKey to) const;
+  double average_delay(NodeKey from, NodeKey to) const;
+
+  /// All per-node delays over [from, to] inclusive, in node order.
+  std::vector<Slot> delays(NodeKey from, NodeKey to) const;
+
+  PacketId window() const { return window_; }
+  NodeKey nodes() const { return static_cast<NodeKey>(missing_.size()); }
+
+ private:
+  PacketId window_;
+  std::vector<std::vector<Slot>> arrival_;  // [node][packet]
+  std::vector<PacketId> missing_;           // packets still unseen per node
+};
+
+}  // namespace streamcast::metrics

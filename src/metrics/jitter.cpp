@@ -1,0 +1,57 @@
+#include "src/metrics/jitter.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace streamcast::metrics {
+
+namespace {
+
+JitterStats from_gaps(const std::vector<Slot>& gaps) {
+  JitterStats s;
+  s.samples = gaps.size();
+  if (gaps.empty()) return s;
+  s.min_gap = *std::ranges::min_element(gaps);
+  s.max_gap = *std::ranges::max_element(gaps);
+  double sum = 0;
+  for (const Slot g : gaps) sum += static_cast<double>(g);
+  s.mean_gap = sum / static_cast<double>(gaps.size());
+  for (const Slot g : gaps) {
+    s.peak_deviation = std::max(
+        s.peak_deviation, std::abs(static_cast<double>(g) - s.mean_gap));
+  }
+  return s;
+}
+
+}  // namespace
+
+JitterStats stride_jitter(const DelayRecorder& delays, NodeKey node,
+                          PacketId stride, PacketId warmup) {
+  if (stride < 1) throw std::invalid_argument("stride < 1");
+  std::vector<Slot> gaps;
+  for (PacketId j = warmup; j + stride < delays.window(); ++j) {
+    const Slot a = delays.arrival(node, j);
+    const Slot b = delays.arrival(node, j + stride);
+    if (a == kNeverArrived || b == kNeverArrived) continue;
+    gaps.push_back(b - a);
+  }
+  return from_gaps(gaps);
+}
+
+JitterStats event_jitter(const DelayRecorder& delays, NodeKey node,
+                         PacketId warmup) {
+  std::vector<Slot> arrivals;
+  for (PacketId j = warmup; j < delays.window(); ++j) {
+    const Slot a = delays.arrival(node, j);
+    if (a != kNeverArrived) arrivals.push_back(a);
+  }
+  std::ranges::sort(arrivals);
+  std::vector<Slot> gaps;
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    gaps.push_back(arrivals[i] - arrivals[i - 1]);
+  }
+  return from_gaps(gaps);
+}
+
+}  // namespace streamcast::metrics

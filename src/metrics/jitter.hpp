@@ -1,0 +1,39 @@
+// Inter-arrival jitter — the regularity property behind hiccup-free
+// playback. The paper's Observation 2 (§2.3 proof): "if one node receives
+// packet j in time slot t, then it will definitely receive packet (j+d) in
+// time slot (t+d)" — i.e. per-tree inter-arrival gaps are *exactly* d in
+// steady state, which is what lets a node start playback after one packet
+// per tree and never stall. This module measures arrival-gap statistics
+// from a DelayRecorder so that regularity becomes a testable invariant for
+// every scheme.
+#pragma once
+
+#include <vector>
+
+#include "src/metrics/delay.hpp"
+
+namespace streamcast::metrics {
+
+struct JitterStats {
+  Slot min_gap = 0;   // smallest gap between consecutive arrivals
+  Slot max_gap = 0;   // largest gap
+  double mean_gap = 0;
+  /// Largest deviation of any gap from the mean — 0 means perfectly
+  /// periodic delivery.
+  double peak_deviation = 0;
+  std::size_t samples = 0;
+};
+
+/// Gap statistics of node's arrivals ordered by *packet id stride*: for
+/// stride s, gaps are recv(j+s) - recv(j) for all j. The multi-tree scheme
+/// is exactly periodic at stride d (every gap == d past warm-up); the
+/// hypercube at stride 1.
+JitterStats stride_jitter(const DelayRecorder& delays, NodeKey node,
+                          PacketId stride, PacketId warmup = 0);
+
+/// Gap statistics of the node's arrival *events* in time order (how bursty
+/// the receive pattern is, independent of packet order).
+JitterStats event_jitter(const DelayRecorder& delays, NodeKey node,
+                         PacketId warmup = 0);
+
+}  // namespace streamcast::metrics

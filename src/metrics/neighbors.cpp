@@ -1,0 +1,45 @@
+#include "src/metrics/neighbors.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace streamcast::metrics {
+
+NeighborRecorder::NeighborRecorder(NodeKey nodes) {
+  assert(nodes >= 1);
+  partners_.resize(static_cast<std::size_t>(nodes));
+}
+
+void NeighborRecorder::on_delivery(const Delivery& d) {
+  if (d.tx.from < static_cast<NodeKey>(partners_.size())) {
+    partners_[static_cast<std::size_t>(d.tx.from)].insert(d.tx.to);
+  }
+  if (d.tx.to < static_cast<NodeKey>(partners_.size())) {
+    partners_[static_cast<std::size_t>(d.tx.to)].insert(d.tx.from);
+  }
+}
+
+std::size_t NeighborRecorder::count(NodeKey node) const {
+  return partners_[static_cast<std::size_t>(node)].size();
+}
+
+const std::set<NodeKey>& NeighborRecorder::neighbors(NodeKey node) const {
+  return partners_[static_cast<std::size_t>(node)];
+}
+
+std::size_t NeighborRecorder::max_count(NodeKey from, NodeKey to) const {
+  std::size_t best = 0;
+  for (NodeKey n = from; n <= to; ++n) best = std::max(best, count(n));
+  return best;
+}
+
+double NeighborRecorder::mean_count(NodeKey from, NodeKey to) const {
+  assert(from <= to);
+  double sum = 0;
+  for (NodeKey n = from; n <= to; ++n) {
+    sum += static_cast<double>(count(n));
+  }
+  return sum / static_cast<double>(to - from + 1);
+}
+
+}  // namespace streamcast::metrics

@@ -1,0 +1,35 @@
+// Neighbor accounting: the paper's "communication requirement" metric is the
+// number of distinct nodes a node exchanges packets with (multi-tree: <= 2d;
+// hypercube: O(log N); Table 1).
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "src/sim/engine.hpp"
+
+namespace streamcast::metrics {
+
+using sim::Delivery;
+using sim::NodeKey;
+
+class NeighborRecorder final : public sim::DeliveryObserver {
+ public:
+  explicit NeighborRecorder(NodeKey nodes);
+
+  void on_delivery(const Delivery& d) override;
+
+  /// Distinct nodes this node sent to or received from.
+  std::size_t count(NodeKey node) const;
+
+  /// Max / mean neighbor count over nodes [from, to] inclusive.
+  std::size_t max_count(NodeKey from, NodeKey to) const;
+  double mean_count(NodeKey from, NodeKey to) const;
+
+  const std::set<NodeKey>& neighbors(NodeKey node) const;
+
+ private:
+  std::vector<std::set<NodeKey>> partners_;
+};
+
+}  // namespace streamcast::metrics

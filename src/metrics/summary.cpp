@@ -1,0 +1,52 @@
+#include "src/metrics/summary.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace streamcast::metrics {
+
+namespace {
+
+double nearest_rank(const std::vector<double>& sorted, double q) {
+  assert(!sorted.empty());
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  const std::size_t idx = rank == 0 ? 0 : rank - 1;
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+}  // namespace
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  s.n = values.size();
+  if (values.empty()) return s;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::ranges::sort(sorted);
+  s.min = sorted.front();
+  s.max = sorted.back();
+  double sum = 0;
+  for (const double v : sorted) sum += v;
+  s.mean = sum / static_cast<double>(sorted.size());
+  s.p50 = nearest_rank(sorted, 0.50);
+  s.p95 = nearest_rank(sorted, 0.95);
+  return s;
+}
+
+Summary summarize(std::span<const sim::Slot> values) {
+  std::vector<double> v(values.size());
+  std::ranges::transform(values, v.begin(),
+                         [](sim::Slot s) { return static_cast<double>(s); });
+  return summarize(v);
+}
+
+Summary summarize(std::span<const std::size_t> values) {
+  std::vector<double> v(values.size());
+  std::ranges::transform(values, v.begin(), [](std::size_t s) {
+    return static_cast<double>(s);
+  });
+  return summarize(v);
+}
+
+}  // namespace streamcast::metrics

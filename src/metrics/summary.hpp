@@ -1,0 +1,28 @@
+// Scalar summaries used by the benchmark tables.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "src/sim/packet.hpp"
+
+namespace streamcast::metrics {
+
+struct Summary {
+  std::size_t n = 0;
+  double min = 0;
+  double max = 0;
+  double mean = 0;
+  double p50 = 0;
+  double p95 = 0;
+};
+
+/// Five-number-ish summary; percentiles by nearest-rank on a sorted copy.
+Summary summarize(std::span<const double> values);
+
+/// Convenience overloads for the integer series our recorders produce.
+Summary summarize(std::span<const sim::Slot> values);
+Summary summarize(std::span<const std::size_t> values);
+
+}  // namespace streamcast::metrics

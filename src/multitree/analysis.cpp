@@ -1,0 +1,66 @@
+#include "src/multitree/analysis.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/util/ints.hpp"
+
+namespace streamcast::multitree {
+
+int tree_height(NodeKey n, int d) {
+  if (n < 1) throw std::invalid_argument("n < 1");
+  if (d < 1) throw std::invalid_argument("d < 1");
+  if (d == 1) return static_cast<int>(n);  // chain: height N
+  // Smallest h with d + ... + d^h >= N, i.e. d^h >= N(1 - 1/d) + 1. Keep the
+  // arithmetic integral: d^h >= ceil( (N(d-1) + d) / d ).
+  const std::int64_t rhs =
+      util::ceil_div(static_cast<std::int64_t>(n) * (d - 1) + d, d);
+  return util::ceil_log(d, rhs);
+}
+
+Slot worst_delay_bound(NodeKey n, int d) {
+  return static_cast<Slot>(tree_height(n, d)) * d;
+}
+
+double average_delay_lower_bound(NodeKey n, int d) {
+  if (d < 2) throw std::invalid_argument("Theorem 3 requires d >= 2");
+  const int h = tree_height(n, d);
+  const double dd = d;
+  const double numerator = std::pow(dd, h) * (dd + 1) * (h - 1) -
+                           dd * dd * (h - 2) - dd * (dd + 1) / 2.0;
+  return numerator / (static_cast<double>(n) * (dd - 1));
+}
+
+double delay_objective(NodeKey n, int d) {
+  if (d < 2) throw std::invalid_argument("F(d) requires d >= 2");
+  const double x = static_cast<double>(n) * (1.0 - 1.0 / d);
+  return std::log(x) / std::log(static_cast<double>(d)) * d;
+}
+
+int optimal_degree(NodeKey n, int max_degree) {
+  assert(max_degree >= 2);
+  int best = 2;
+  Slot best_bound = worst_delay_bound(n, 2);
+  for (int d = 3; d <= max_degree; ++d) {
+    const Slot bound = worst_delay_bound(n, d);
+    if (bound < best_bound) {
+      best = d;
+      best_bound = bound;
+    }
+  }
+  return best;
+}
+
+bool is_complete(NodeKey n, int d) {
+  if (d < 2) return false;
+  std::int64_t total = 0;
+  std::int64_t level = 1;
+  while (total < n) {
+    level *= d;
+    total += level;
+  }
+  return total == n;
+}
+
+}  // namespace streamcast::multitree

@@ -1,0 +1,41 @@
+// Closed-form bounds of §2.3: Theorem 2 (worst-case playback delay and
+// buffer size), Theorem 3 (average-delay lower bound), and the tree-degree
+// optimization showing d = 2 or 3 is always optimal.
+#pragma once
+
+#include <cstdint>
+
+#include "src/sim/packet.hpp"
+
+namespace streamcast::multitree {
+
+using sim::NodeKey;
+using sim::Slot;
+
+/// Tree height h = ceil( log_d [ N(1 - 1/d) + 1 ] ): the smallest h with
+/// d + d^2 + ... + d^h >= N. Matches Forest::height() for every (N, d);
+/// (h + 1) is the paper's tree depth counting the root.
+int tree_height(NodeKey n, int d);
+
+/// Theorem 2: worst-case playback delay T <= h*d. Also the sufficient
+/// per-node buffer size (in packets).
+Slot worst_delay_bound(NodeKey n, int d);
+
+/// Theorem 3: lower bound on the average playback delay,
+///   [ d^h (d+1)(h-1) - d^2 (h-2) - d(d+1)/2 ] / [ N (d-1) ].
+/// Stated for complete trees (N = d + ... + d^h) and d >= 2.
+double average_delay_lower_bound(NodeKey n, int d);
+
+/// The paper's F(d) = log_d[ N(1 - 1/d) ] * d, the large-N approximation of
+/// the worst-case delay bound minimized in §2.3.
+double delay_objective(NodeKey n, int d);
+
+/// argmin over d >= 2 of the exact bound h(d)*d (ties broken toward smaller
+/// d). §2.3 proves the result is always 2 or 3; tests sweep this.
+int optimal_degree(NodeKey n, int max_degree = 16);
+
+/// True iff the d-ary trees for N receivers are complete:
+/// N == d + d^2 + ... + d^h for some h >= 1.
+bool is_complete(NodeKey n, int d);
+
+}  // namespace streamcast::multitree

@@ -1,0 +1,113 @@
+#include "src/multitree/churn.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/multitree/greedy.hpp"
+#include "src/util/ints.hpp"
+
+namespace streamcast::multitree {
+
+namespace {
+
+/// The forest is always built at full padded capacity so vacancy is purely a
+/// peer-table concept: build_greedy(d*(I+1), d) has interior count I and no
+/// construction-level dummies.
+Forest build_at_interior(NodeKey interior, int d) {
+  return build_greedy(static_cast<NodeKey>(d) * (interior + 1), d);
+}
+
+}  // namespace
+
+ChurnForest::ChurnForest(NodeKey initial_n, int d, ChurnPolicy policy,
+                         int lazy_slack)
+    : d_(d),
+      policy_(policy),
+      lazy_slack_(lazy_slack > 0 ? lazy_slack : d),
+      n_(initial_n),
+      forest_(build_at_interior(
+          static_cast<NodeKey>(util::ceil_div(initial_n, d)) - 1, d)) {
+  if (initial_n < 1) throw std::invalid_argument("need at least one peer");
+  peer_.assign(static_cast<std::size_t>(forest_.n_pad()) + 1, kNoPeer);
+  for (NodeKey id = 1; id <= n_; ++id) {
+    peer_[static_cast<std::size_t>(id)] = next_peer_++;
+  }
+}
+
+NodeKey ChurnForest::canonical_interior(NodeKey n) const {
+  return static_cast<NodeKey>(util::ceil_div(n, d_)) - 1;
+}
+
+PeerId ChurnForest::peer_at(NodeKey id) const {
+  if (id < 1 || id > forest_.n_pad()) return kNoPeer;
+  return peer_[static_cast<std::size_t>(id)];
+}
+
+NodeKey ChurnForest::id_of(PeerId peer) const {
+  for (NodeKey id = 1; id <= n_; ++id) {
+    if (peer_[static_cast<std::size_t>(id)] == peer) return id;
+  }
+  return -1;
+}
+
+void ChurnForest::restructure(NodeKey target_n) {
+  const NodeKey target_interior = canonical_interior(target_n);
+  if (target_interior == forest_.interior()) return;
+  Forest next = build_at_interior(target_interior, d_);
+  // Every live peer keeps its structural id; count (peer, tree) position
+  // changes between the two structures. Ids above the new capacity cannot be
+  // live (callers shrink only when n_ fits).
+  std::int64_t moves = 0;
+  for (NodeKey id = 1; id <= n_; ++id) {
+    for (int k = 0; k < d_; ++k) {
+      const NodeKey before = forest_.position_of(k, id);
+      const NodeKey after =
+          id <= next.n_pad() ? next.position_of(k, id) : -1;
+      if (before != after) ++moves;
+    }
+  }
+  stats_.rebuild_moves += moves;
+  ++stats_.rebuilds;
+  forest_ = std::move(next);
+  peer_.resize(static_cast<std::size_t>(forest_.n_pad()) + 1, kNoPeer);
+}
+
+PeerId ChurnForest::add() {
+  ++stats_.operations;
+  const bool must_grow = n_ == forest_.n_pad();
+  if (policy_ == ChurnPolicy::kEager || must_grow) {
+    restructure(n_ + 1);
+  }
+  ++n_;
+  const PeerId peer = next_peer_++;
+  peer_[static_cast<std::size_t>(n_)] = peer;
+  return peer;
+}
+
+void ChurnForest::remove(PeerId peer) {
+  ++stats_.operations;
+  if (n_ <= 1) throw std::logic_error("cannot remove the last peer");
+  const NodeKey id = id_of(peer);
+  if (id < 0) throw std::invalid_argument("unknown peer");
+  if (id != n_) {
+    // Paper Step 1: the last all-leaf node (greedy T_0's identity layout
+    // puts it at id n_) replaces the departing node, changing position in
+    // each of the d trees.
+    peer_[static_cast<std::size_t>(id)] = peer_[static_cast<std::size_t>(n_)];
+    stats_.relabel_moves += d_;
+  }
+  peer_[static_cast<std::size_t>(n_)] = kNoPeer;
+  --n_;
+  if (policy_ == ChurnPolicy::kEager) {
+    restructure(n_);
+  } else if (forest_.n_pad() - n_ > lazy_slack_) {
+    // Lazy shrink, forced. At the default slack d this is the safe point:
+    // with more than d vacancies the vacant ids would reach into the
+    // interior pool {1..dI} and their subtrees would starve mid-stream
+    // (up to d vacancies always sit in the all-leaf tail). Larger slacks
+    // exist only for the ablation experiment.
+    restructure(n_);
+  }
+}
+
+}  // namespace streamcast::multitree

@@ -1,0 +1,110 @@
+// Node churn for the multi-tree forest (paper appendix: "Dynamics: node
+// addition and deletion in multi-trees", plus the "lazy" variants).
+//
+// Identity model. Structural ids 1..n_pad label tree slots; live peers
+// occupy ids 1..N densely and ids above N are vacant (the dummies of §2.2).
+// The greedy construction places ids deterministically, so the *structure*
+// depends only on the interior count I — which is exactly why the paper's
+// common-case operations are cheap:
+//
+//  * Deletion of peer at id i: the peer at id N (always the "last all-leaf
+//    node in tree T_0" — greedy T_0 is the identity layout) is relabeled to
+//    id i, inheriting i's d positions. This is the paper's Step 1 "find
+//    replacement" swap: one surviving peer changes position in each of the
+//    d trees (d per-tree moves).
+//  * Addition: the arriving peer is seated at the vacant id N+1, whose d
+//    leaf positions already satisfy every invariant. No existing peer moves.
+//
+// Boundary events — when ceil(N/d)-1 changes — require restructuring (the
+// paper's "restore property" / "make room for growth" swaps). DEVIATION
+// (documented in DESIGN.md §5): the paper's literal swap rules do not
+// preserve the mod-d congruence property in general (each node's child
+// indices must stay pairwise distinct across trees, and a displaced node's
+// residue is forced by its other d-1 trees). We instead re-derive the
+// placement from the greedy construction at the new interior count and
+// count every (peer, tree) position change; invariants then hold by
+// construction, and the measured move counts play the role of the paper's
+// d^2(+d) bound — the eager-vs-lazy bench reports them.
+//
+// Policies:
+//  * kEager — restructure at every boundary crossing (paper's base scheme).
+//  * kLazy  — defer: grow only when there is no vacant id left, shrink only
+//    when vacancies exceed d (the paper's lazy deletion/addition: "wait
+//    until a new event occurs before deciding whether swapping is needed").
+//    The d-vacancy cap is load-bearing: vacant ids must stay in the all-leaf
+//    tail (ids > dI), otherwise a vacant *interior* id would starve its
+//    whole subtree in a live stream (measured in bench/churn_hiccups).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/multitree/forest.hpp"
+
+namespace streamcast::multitree {
+
+using PeerId = std::int64_t;
+inline constexpr PeerId kNoPeer = -1;
+
+enum class ChurnPolicy { kEager, kLazy };
+
+struct ChurnStats {
+  std::int64_t operations = 0;
+  /// Step-1-style relabels: a surviving peer inherits the departing peer's
+  /// slot (d per-tree position changes each).
+  std::int64_t relabel_moves = 0;
+  /// (peer, tree) position changes caused by boundary restructurings.
+  std::int64_t rebuild_moves = 0;
+  std::int64_t rebuilds = 0;
+
+  std::int64_t total_moves() const { return relabel_moves + rebuild_moves; }
+};
+
+class ChurnForest {
+ public:
+  /// Starts with peers 1..initial_n seated in the greedy forest.
+  /// `lazy_slack` is the vacancy count that forces a lazy shrink; the
+  /// default d is the largest *safe* value (vacant ids stay in the
+  /// all-leaf tail). Larger values are accepted for experiments — they
+  /// defer more restructuring at the cost of vacant interior ids whose
+  /// subtrees starve in a live stream (bench/ablation_lazy_slack).
+  ChurnForest(NodeKey initial_n, int d,
+              ChurnPolicy policy = ChurnPolicy::kEager, int lazy_slack = 0);
+
+  /// Seats a new peer; returns its identity.
+  PeerId add();
+
+  /// Removes a live peer. Throws std::invalid_argument for unknown peers and
+  /// std::logic_error when it would empty the system.
+  void remove(PeerId peer);
+
+  NodeKey n() const { return n_; }
+  int d() const { return d_; }
+  NodeKey interior() const { return forest_.interior(); }
+  const Forest& forest() const { return forest_; }
+
+  /// Peer seated at structural id, or kNoPeer for vacant ids.
+  PeerId peer_at(NodeKey id) const;
+  /// Structural id of a live peer, or -1.
+  NodeKey id_of(PeerId peer) const;
+  bool is_vacant(NodeKey id) const { return peer_at(id) == kNoPeer; }
+
+  const ChurnStats& stats() const { return stats_; }
+
+ private:
+  /// Rebuilds the forest for interior count implied by target_n and adds the
+  /// per-peer position diffs to rebuild_moves.
+  void restructure(NodeKey target_n);
+  NodeKey canonical_interior(NodeKey n) const;
+
+  int d_;
+  ChurnPolicy policy_;
+  NodeKey lazy_slack_;
+  NodeKey n_ = 0;            // live peers, seated at ids 1..n_
+  Forest forest_;            // structure over ids 1..n_pad
+  std::vector<PeerId> peer_;  // [id] -> peer, index 0 unused
+  PeerId next_peer_ = 1;
+  ChurnStats stats_;
+};
+
+}  // namespace streamcast::multitree

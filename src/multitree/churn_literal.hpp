@@ -1,0 +1,44 @@
+// The paper's *literal* deletion algorithm (appendix, "Dynamics"), kept as
+// a reference implementation to make DESIGN.md's deviation 2 a
+// machine-checked fact rather than a claim.
+//
+//   Step 1 (find replacement): swap the departing node i with x, the last
+//     all-leaf node of T_0, in all d trees.  [residue-safe: the two nodes
+//     exchange whole position sets]
+//   Step 2 (restore property, only when d | N-1): the d former parents P(i)
+//     are swapped into positions N-d .. N-1 of every tree, so the new
+//     all-leaf nodes end up at the tails.  [NOT residue-safe: a displaced
+//     node's tree-k child index is forced by its other d-1 trees, and the
+//     forced tail indices of P(i) collide whenever two members share a
+//     residue column]
+//   Step 3 (remove): i, now in x's old all-leaf slots, leaves the system.
+//
+// After step 2 the forest can violate the mod-d congruence property the
+// collision-free schedule depends on; tests/multitree_churn_literal_test
+// exhibits concrete (N, d, victim) witnesses. Production churn therefore
+// re-derives placements instead (src/multitree/churn.hpp).
+#pragma once
+
+#include "src/multitree/forest.hpp"
+
+namespace streamcast::multitree {
+
+struct LiteralDeleteResult {
+  Forest forest;          // post-op placement (victim parked all-leaf)
+  NodeKey victim = 0;     // the departed node (ignore in validations)
+  bool boundary = false;  // whether step 2 ran (d | N-1)
+  int swaps = 0;          // per-tree position exchanges performed
+};
+
+/// Applies the paper's deletion steps 1-2 verbatim to a copy of `forest`
+/// (built for N real receivers; requires victim in [1, N]). The structure
+/// keeps its padded shape; the departed node remains parked in all-leaf
+/// positions so the survivors' placement can be validated directly.
+LiteralDeleteResult paper_literal_delete(const Forest& forest,
+                                         NodeKey victim);
+
+/// Congruence check over the survivors only: child indices of every node
+/// except `skip` pairwise distinct across trees.
+bool survivors_congruent(const Forest& forest, NodeKey skip);
+
+}  // namespace streamcast::multitree

@@ -1,0 +1,128 @@
+// Mid-stream churn: the multi-tree protocol kept running while the forest
+// mutates underneath it — the paper's omitted QoS-under-churn simulation
+// ("nodes participating in the swapping process may suffer from hiccups ...
+// because they lose data which was delivered before they were moved up a
+// tree, or perhaps because they wait longer than originally planned for some
+// data because they were moved down a tree", appendix).
+//
+// Model. Structural ids keep receiving their positions' round-robin streams;
+// ChurnForest moves *peers* between ids and occasionally re-derives the
+// placement. After every mutation the driver calls resync(now), which
+// re-reads the forest and repairs each interior id's per-child cursors:
+//
+//   next(child r) = highest(child) + 1   if the child trails by at most the
+//                                        normal pipeline depth (continuity:
+//                                        nothing missed, nothing repeated)
+//                 = highest(self)        otherwise (jump to the live edge:
+//                                        the gap becomes hiccups/missed
+//                                        packets, playback then resumes on
+//                                        schedule)
+//
+// The jump is forced by the rate-matched links of the paper's model: every
+// node sends exactly one packet per slot, so there is no spare bandwidth to
+// backfill a lagging child — catching up is impossible and a permanently
+// lagging subtree would hiccup forever. Skipping to the live edge costs a
+// bounded burst of hiccups per affected node, which is exactly the paper's
+// "up to d^2 nodes may suffer from hiccups" accounting. Vacant ids receive
+// nothing but their positions' cursors keep ticking, so a joiner enters at
+// the live stream edge.
+//
+// Per-peer QoS is measured by PeerQosTracker: one PlaybackBuffer per peer,
+// started startup_margin slots after it is seated, playing from the stream
+// position of that moment; every missed due packet is one hiccup.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "src/multitree/churn.hpp"
+#include "src/net/buffer.hpp"
+#include "src/sim/engine.hpp"
+#include "src/sim/protocol.hpp"
+
+namespace streamcast::multitree {
+
+using sim::PacketId;
+using sim::Slot;
+using sim::Tx;
+
+class DynamicMultiTreeProtocol final : public sim::Protocol {
+ public:
+  /// pipeline_depth = largest child lag (in per-tree rounds) repaired by
+  /// continuity rather than a live-edge jump. The steady-state lag is 0 or 1
+  /// round; the default 2 tolerates one transition slot on top.
+  explicit DynamicMultiTreeProtocol(ChurnForest& churn,
+                                    int pipeline_depth = 2);
+
+  void transmit(Slot t, std::vector<Tx>& out) override;
+  void deliver(Slot t, const Tx& tx) override;
+
+  /// Re-reads the (possibly restructured) forest and repairs all cursors.
+  /// Call after every ChurnForest mutation, before simulating further slots.
+  void resync(Slot now);
+
+  /// Newest tree-`tree` packet index m received by structural id (-1 none).
+  std::int64_t highest_received(NodeKey id, int tree) const;
+
+  /// First packet id of the next completely-fresh source round: a viewer
+  /// seated now is guaranteed every packet >= live_edge() (used to place
+  /// joiners' playback at the live stream edge).
+  PacketId live_edge() const;
+
+ private:
+  struct Interior {
+    NodeKey id = 0;
+    NodeKey pos = 0;
+    int tree = 0;
+    std::vector<std::int64_t> next;  // per child slot: next m to offer
+  };
+
+  void rebuild_interiors(Slot now);
+
+  ChurnForest& churn_;
+  int pipeline_depth_;
+  std::vector<std::vector<std::int64_t>> highest_;  // [id][tree] -> max m
+  std::vector<Interior> interiors_;
+  std::vector<std::vector<std::int64_t>> src_next_;  // [tree][child slot]
+};
+
+/// Per-peer playback accounting under churn.
+class PeerQosTracker final : public sim::DeliveryObserver {
+ public:
+  /// Every peer starts playback startup_margin slots after being seated, at
+  /// the packet its interior trees are then distributing.
+  PeerQosTracker(const ChurnForest& churn,
+                 const DynamicMultiTreeProtocol& protocol,
+                 Slot startup_margin);
+
+  void on_delivery(const sim::Delivery& d) override;
+
+  /// Registers a peer seated at slot t (call for the initial population at
+  /// t = 0 and after every add()).
+  void peer_seated(PeerId peer, Slot t);
+  /// Finalizes a departing peer's stats before ChurnForest::remove().
+  void peer_left(PeerId peer, Slot t);
+  /// Finalizes all remaining peers at the end of the run.
+  void finish(Slot t);
+
+  std::int64_t total_hiccups() const { return hiccups_; }
+  std::int64_t total_played() const { return played_; }
+  std::int64_t late_or_duplicate() const { return late_; }
+  std::size_t peers_tracked() const { return tracked_; }
+  std::size_t peers_with_hiccups() const { return peers_with_hiccups_; }
+
+ private:
+  void retire(net::PlaybackBuffer& buffer, Slot t);
+
+  const ChurnForest& churn_;
+  const DynamicMultiTreeProtocol& protocol_;
+  Slot margin_;
+  std::map<PeerId, net::PlaybackBuffer> buffers_;
+  std::int64_t hiccups_ = 0;
+  std::int64_t played_ = 0;
+  std::int64_t late_ = 0;
+  std::size_t tracked_ = 0;
+  std::size_t peers_with_hiccups_ = 0;
+};
+
+}  // namespace streamcast::multitree

@@ -1,0 +1,106 @@
+#include "src/multitree/forest.hpp"
+
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+
+#include "src/util/ints.hpp"
+
+namespace streamcast::multitree {
+
+Forest::Forest(NodeKey n, int d) : n_(n), d_(d) {
+  if (n < 1) throw std::invalid_argument("need at least one receiver");
+  if (d < 1) throw std::invalid_argument("tree degree must be >= 1");
+  interior_ = static_cast<NodeKey>(util::ceil_div(n, d) - 1);
+  n_pad_ = static_cast<NodeKey>(d) * (interior_ + 1);
+  assert(n_pad_ >= n_ && n_pad_ - n_ < static_cast<NodeKey>(d_));
+  trees_.resize(static_cast<std::size_t>(d_));
+  pos_of_.resize(static_cast<std::size_t>(d_));
+}
+
+std::vector<NodeKey> Forest::group(int k) const {
+  assert(k >= 0 && k <= d_);
+  std::vector<NodeKey> g;
+  if (k < d_) {
+    g.resize(static_cast<std::size_t>(interior_));
+    std::iota(g.begin(), g.end(), static_cast<NodeKey>(k) * interior_ + 1);
+  } else {
+    g.resize(static_cast<std::size_t>(n_pad_ - static_cast<NodeKey>(d_) *
+                                                   interior_));
+    std::iota(g.begin(), g.end(), static_cast<NodeKey>(d_) * interior_ + 1);
+  }
+  return g;
+}
+
+void Forest::set_tree(int k, std::vector<NodeKey> pos_to_node) {
+  assert(k >= 0 && k < d_);
+  if (pos_to_node.size() != static_cast<std::size_t>(n_pad_) + 1 ||
+      pos_to_node[0] != kSource) {
+    throw std::invalid_argument("malformed tree position array");
+  }
+  std::vector<NodeKey> inverse(static_cast<std::size_t>(n_pad_) + 1, -1);
+  for (NodeKey pos = 1; pos <= n_pad_; ++pos) {
+    const NodeKey node = pos_to_node[static_cast<std::size_t>(pos)];
+    if (node < 1 || node > n_pad_ ||
+        inverse[static_cast<std::size_t>(node)] != -1) {
+      throw std::invalid_argument("tree is not a permutation of receivers");
+    }
+    inverse[static_cast<std::size_t>(node)] = pos;
+  }
+  trees_[static_cast<std::size_t>(k)] = std::move(pos_to_node);
+  pos_of_[static_cast<std::size_t>(k)] = std::move(inverse);
+}
+
+NodeKey Forest::node_at(int k, NodeKey pos) const {
+  assert(pos >= 1 && pos <= n_pad_);
+  return trees_[static_cast<std::size_t>(k)][static_cast<std::size_t>(pos)];
+}
+
+NodeKey Forest::position_of(int k, NodeKey node) const {
+  assert(node >= 1 && node <= n_pad_);
+  return pos_of_[static_cast<std::size_t>(k)][static_cast<std::size_t>(node)];
+}
+
+int Forest::interior_tree_of(NodeKey node) const {
+  assert(node >= 1 && node <= n_pad_);
+  // Interior iff the node sits in an interior position; the constructions
+  // put only G_k members there in tree k, but we answer from the actual
+  // placement so churn-mutated forests stay consistent.
+  for (int k = 0; k < d_; ++k) {
+    if (is_interior_pos(position_of(k, node))) return k;
+  }
+  return -1;
+}
+
+NodeKey Forest::parent_pos(NodeKey pos) const {
+  assert(pos >= 1);
+  return (pos - 1) / static_cast<NodeKey>(d_);
+}
+
+NodeKey Forest::child_pos(NodeKey pos, int child) const {
+  assert(child >= 0 && child < d_);
+  return static_cast<NodeKey>(d_) * pos + 1 + static_cast<NodeKey>(child);
+}
+
+int Forest::child_index(NodeKey pos) const {
+  assert(pos >= 1);
+  return static_cast<int>((pos - 1) % static_cast<NodeKey>(d_));
+}
+
+int Forest::depth_of(NodeKey pos) const {
+  int depth = 0;
+  while (pos > 0) {
+    pos = parent_pos(pos);
+    ++depth;
+  }
+  return depth;
+}
+
+int Forest::height() const { return depth_of(n_pad_); }
+
+const std::vector<NodeKey>& Forest::tree(int k) const {
+  assert(k >= 0 && k < d_);
+  return trees_[static_cast<std::size_t>(k)];
+}
+
+}  // namespace streamcast::multitree

@@ -1,0 +1,89 @@
+// The interior-disjoint d-ary forest of §2.2.
+//
+// N receivers are streamed to over d trees, each a d-ary tree rooted at the
+// source S. Every receiver appears in every tree; it is an *interior* node
+// (with exactly d children) in at most one of them and a leaf everywhere
+// else. Dummy receivers pad the last positions so every interior node has
+// exactly d children; dummies are always leaves and are skipped by the
+// transmission schedule.
+//
+// Positions within a tree are numbered in BFS order: the source S is
+// position 0, and the children of position p are positions d*p+1 .. d*p+d.
+// The *child index* of position p is (p-1) mod d; the paper's collision-free
+// schedule works because each node's child indices across the d trees are
+// pairwise distinct (appendix proofs, re-checked by validate_forest()).
+//
+// Group structure (§2.2): I = ceil(N/d) - 1 interior positions per tree;
+//   G_k = { kI+1 .. (k+1)I }    for k = 0..d-1  (interior candidates)
+//   G_d = { dI+1 .. N_pad }     (perpetual leaves; exactly d ids after
+//                                padding, since N_pad = d*(I+1))
+#pragma once
+
+#include <vector>
+
+#include "src/sim/packet.hpp"
+
+namespace streamcast::multitree {
+
+using sim::NodeKey;
+
+/// Node id of the source inside tree position arrays.
+inline constexpr NodeKey kSource = 0;
+
+class Forest {
+ public:
+  /// Builds the group structure for n >= 1 receivers and degree d >= 1.
+  /// Trees start unfilled; the structured/greedy builders call set_tree().
+  Forest(NodeKey n, int d);
+
+  int d() const { return d_; }
+  NodeKey n() const { return n_; }
+  /// Receiver count after dummy padding; node ids in (n(), n_pad()] are
+  /// dummies.
+  NodeKey n_pad() const { return n_pad_; }
+  /// Interior positions per tree, I = ceil(N/d) - 1.
+  NodeKey interior() const { return interior_; }
+  bool is_dummy(NodeKey node) const { return node > n_; }
+
+  /// Group G_k for k in [0, d]: k < d are the interior-candidate groups of
+  /// size I; k == d is the perpetual-leaf group of size d (paper's G_d, with
+  /// dummies appended).
+  std::vector<NodeKey> group(int k) const;
+
+  /// Installs tree k. `pos_to_node[0]` must be kSource; positions 1..n_pad
+  /// must hold each receiver id exactly once.
+  void set_tree(int k, std::vector<NodeKey> pos_to_node);
+
+  /// Receiver occupying position pos of tree k (pos in [1, n_pad]).
+  NodeKey node_at(int k, NodeKey pos) const;
+  /// Position of a receiver in tree k.
+  NodeKey position_of(int k, NodeKey node) const;
+  /// The tree in which this receiver is interior, or -1 if it is a leaf in
+  /// every tree (i.e. it belongs to G_d).
+  int interior_tree_of(NodeKey node) const;
+
+  // --- position arithmetic -------------------------------------------------
+  NodeKey parent_pos(NodeKey pos) const;          // (pos-1)/d; 0 = source
+  NodeKey child_pos(NodeKey pos, int child) const;  // d*pos+1+child
+  /// Child index of position pos within its parent, in [0, d).
+  int child_index(NodeKey pos) const;
+  bool is_interior_pos(NodeKey pos) const { return pos >= 1 && pos <= interior_; }
+  /// Depth of a position (source = 0; S's children = 1).
+  int depth_of(NodeKey pos) const;
+  /// Height h of the (padded) trees: depth of the deepest position. For
+  /// complete trees this is the paper's h with depth h+1 counting the root.
+  int height() const;
+
+  /// Direct access for validators and renderers.
+  const std::vector<NodeKey>& tree(int k) const;
+
+ private:
+  NodeKey n_;
+  int d_;
+  NodeKey interior_;
+  NodeKey n_pad_;
+  std::vector<std::vector<NodeKey>> trees_;    // [k][pos] -> node
+  std::vector<std::vector<NodeKey>> pos_of_;   // [k][node] -> pos
+};
+
+}  // namespace streamcast::multitree

@@ -1,0 +1,39 @@
+// Greedy disjoint tree construction (§2.2.2).
+//
+// Every receiver i carries a parity p_i = (i-1) mod d and occupies child slot
+// (p_i - k) mod d in tree k. T_0 is the same as the structured T_0. For each
+// later tree T_k, interior positions 1..I are filled from G_k and leaf
+// positions I+1..N_pad from the rest, always choosing the smallest unplaced
+// id whose parity matches the position's required parity (i + k - 1) mod d.
+//
+// For N = 15, d = 3 this reproduces the paper's Figure 3(b) exactly:
+//   T_1 = 5 6 7 8 | 3 1 2 9 4 11 12 10 | 14 15 13.
+#pragma once
+
+#include "src/multitree/forest.hpp"
+
+namespace streamcast::multitree {
+
+/// Builds the greedy forest for n receivers and degree d.
+Forest build_greedy(NodeKey n, int d);
+
+/// Parity of a receiver id, p_i = (i-1) mod d.
+inline int parity_of(NodeKey id, int d) {
+  return static_cast<int>((id - 1) % static_cast<NodeKey>(d));
+}
+
+/// True iff the paper's *literal* Step 2 (interior candidates restricted to
+/// G_k) admits a perfect parity matching for every tree — equivalently, the
+/// per-residue supply of each G_k matches the interior positions' demand:
+/// d | I, or d | (I-1) (then k(I-1) ≡ 0 mod d for all k). When true, the
+/// generalized pool in build_greedy provably reproduces the paper's rule
+/// verbatim; when false (e.g. N = 18, d = 3), the paper's pseudocode has no
+/// valid output and the generalization is required (DESIGN.md §5).
+bool paper_strict_greedy_feasible(NodeKey n, int d);
+
+/// The paper's Step 2 verbatim: throws std::runtime_error with the stuck
+/// (tree, position) when the parity matching is infeasible. Exists to
+/// document the deviation precisely; production callers use build_greedy.
+Forest build_greedy_paper_strict(NodeKey n, int d);
+
+}  // namespace streamcast::multitree

@@ -1,0 +1,72 @@
+// Stateful multi-tree streaming protocol (§2.2.3) for the slot engine.
+//
+// Node keys: 0 = source S, 1..n = the real receivers (dummies are "removed
+// in the real system", §2.2, so they are never addressed).
+//
+// Three stream modes:
+//  * kPreRecorded     — every packet available at S from slot 0 (§2.2.3).
+//  * kLivePrebuffered — packet p is generated in slot p; S pre-buffers d
+//    packets and starts the identical schedule d slots late, so every node's
+//    delay grows by exactly d (§2.2.3, second live approach).
+//  * kLivePipelined   — packet p is generated in slot p; S runs the
+//    round-robin slots but holds a transmission back until its packet
+//    exists (§2.2.3, first live approach — the paper notes the resulting
+//    per-tree schedules are inhomogeneous and hard to analyze; we simulate
+//    them instead).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "src/multitree/forest.hpp"
+#include "src/sim/protocol.hpp"
+
+namespace streamcast::multitree {
+
+using sim::PacketId;
+using sim::Slot;
+using sim::Tx;
+
+enum class StreamMode { kPreRecorded, kLivePrebuffered, kLivePipelined };
+
+/// Optional availability gate for the cluster source: sendable(p, t) must
+/// return true once packet p may leave the source in slot t. Used by the
+/// super-tree composition, where S'_i can only relay packets already
+/// delivered over the backbone. Must be monotone in t.
+using SourceGate = std::function<bool(PacketId, Slot)>;
+
+class MultiTreeProtocol final : public sim::Protocol {
+ public:
+  explicit MultiTreeProtocol(const Forest& forest,
+                             StreamMode mode = StreamMode::kPreRecorded,
+                             SourceGate gate = {},
+                             std::vector<sim::NodeKey> key_map = {});
+
+  void transmit(Slot t, std::vector<Tx>& out) override;
+  void deliver(Slot t, const Tx& tx) override;
+
+  /// Translates a local key (0 = cluster source, 1..n receivers) to the
+  /// engine key space (identity unless a key_map was given).
+  sim::NodeKey global_key(NodeKey local) const;
+  /// Inverse of global_key for receivers; -1 if the key is not mapped.
+  NodeKey local_key(sim::NodeKey global) const;
+
+ private:
+  const Forest& forest_;
+  StreamMode mode_;
+  SourceGate gate_;
+  std::vector<sim::NodeKey> key_map_;      // [local] -> global; empty = id
+  std::vector<NodeKey> inverse_key_map_;   // [global] -> local
+  struct InteriorState {
+    NodeKey node = 0;
+    NodeKey pos = 0;  // its interior position
+    int tree = 0;
+    std::int64_t last_recv_m = -1;         // newest tree packet received
+    std::vector<std::int64_t> child_next;  // per child index: next m to send
+  };
+  std::vector<InteriorState> interiors_;
+  std::vector<int> interior_index_;               // node -> index or -1
+  std::vector<std::vector<std::int64_t>> src_next_;  // [tree][child] next m
+};
+
+}  // namespace streamcast::multitree

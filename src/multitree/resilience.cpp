@@ -1,0 +1,102 @@
+#include "src/multitree/resilience.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace streamcast::multitree {
+
+std::vector<int> descriptions_received(const Forest& forest,
+                                       const std::vector<bool>& failed) {
+  if (failed.size() != static_cast<std::size_t>(forest.n()) + 1) {
+    throw std::invalid_argument("failed must cover receivers 1..n");
+  }
+  const int d = forest.d();
+  std::vector<int> received(static_cast<std::size_t>(forest.n()) + 1, 0);
+  // Per tree, one BFS-order pass: a position is reachable iff its parent
+  // position is reachable and the parent's occupant is alive (dummies never
+  // occupy interior positions, so only real occupants matter).
+  std::vector<char> reachable(static_cast<std::size_t>(forest.n_pad()) + 1);
+  for (int k = 0; k < d; ++k) {
+    for (NodeKey pos = 1; pos <= forest.n_pad(); ++pos) {
+      const NodeKey parent = forest.parent_pos(pos);
+      if (parent == 0) {
+        reachable[static_cast<std::size_t>(pos)] = 1;  // fed by the source
+      } else {
+        const NodeKey pnode = forest.node_at(k, parent);
+        const bool parent_alive =
+            forest.is_dummy(pnode) ? false
+                                   : !failed[static_cast<std::size_t>(pnode)];
+        reachable[static_cast<std::size_t>(pos)] =
+            reachable[static_cast<std::size_t>(parent)] && parent_alive;
+      }
+      const NodeKey node = forest.node_at(k, pos);
+      if (!forest.is_dummy(node) &&
+          !failed[static_cast<std::size_t>(node)] &&
+          reachable[static_cast<std::size_t>(pos)]) {
+        ++received[static_cast<std::size_t>(node)];
+      }
+    }
+  }
+  return received;
+}
+
+std::vector<int> single_tree_reception(sim::NodeKey n, int d,
+                                       const std::vector<bool>& failed) {
+  if (failed.size() != static_cast<std::size_t>(n) + 1) {
+    throw std::invalid_argument("failed must cover receivers 1..n");
+  }
+  std::vector<int> received(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<char> reachable(static_cast<std::size_t>(n) + 1, 0);
+  for (sim::NodeKey i = 1; i <= n; ++i) {
+    const sim::NodeKey parent = (i - 1) / static_cast<sim::NodeKey>(d);
+    const bool fed =
+        parent == 0 ||
+        (reachable[static_cast<std::size_t>(parent)] &&
+         !failed[static_cast<std::size_t>(parent)]);
+    reachable[static_cast<std::size_t>(i)] = fed;
+    if (fed && !failed[static_cast<std::size_t>(i)]) {
+      received[static_cast<std::size_t>(i)] = 1;
+    }
+  }
+  return received;
+}
+
+ResilienceSummary summarize_resilience(const std::vector<int>& descriptions,
+                                       const std::vector<bool>& failed,
+                                       int d) {
+  assert(descriptions.size() == failed.size());
+  ResilienceSummary s;
+  double quality = 0;
+  for (std::size_t x = 1; x < descriptions.size(); ++x) {
+    if (failed[x]) continue;
+    ++s.live;
+    if (descriptions[x] == d) {
+      ++s.fully_served;
+    } else if (descriptions[x] == 0) {
+      ++s.starved;
+    } else {
+      ++s.degraded;
+    }
+    quality += static_cast<double>(descriptions[x]) / d;
+  }
+  s.mean_quality = s.live > 0 ? quality / static_cast<double>(s.live) : 0.0;
+  return s;
+}
+
+std::vector<bool> random_failures(sim::NodeKey n, sim::NodeKey failures,
+                                  util::Prng& rng) {
+  assert(failures <= n);
+  std::vector<bool> failed(static_cast<std::size_t>(n) + 1, false);
+  sim::NodeKey placed = 0;
+  while (placed < failures) {
+    const auto x = static_cast<std::size_t>(
+        1 + rng.below(static_cast<std::uint64_t>(n)));
+    if (!failed[x]) {
+      failed[x] = true;
+      ++placed;
+    }
+  }
+  return failed;
+}
+
+}  // namespace streamcast::multitree

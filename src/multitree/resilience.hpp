@@ -1,0 +1,49 @@
+// Failure resilience / MDC analysis (§1 of the paper).
+//
+// The intro's case against single-tree multicast includes "(ii) less
+// resilience to node failures", and the related-work discussion notes the
+// multi-tree scheme "can be combined with MDC": encode the stream as d
+// descriptions, one per tree; a viewer that still receives q of d
+// descriptions plays at q/d quality instead of stalling.
+//
+// This module quantifies that claim. Given a set of failed (crashed,
+// not-yet-repaired) receivers, a viewer receives tree k's description iff
+// no proper ancestor on its tree-k path failed. In the single-tree baseline
+// the same condition governs the *whole* stream.
+#pragma once
+
+#include <vector>
+
+#include "src/multitree/forest.hpp"
+#include "src/util/prng.hpp"
+
+namespace streamcast::multitree {
+
+/// descriptions[x] = number of trees whose full root-path to receiver x is
+/// failure-free, for every live receiver x (failed receivers get 0).
+/// `failed` is indexed by receiver id (index 0 unused).
+std::vector<int> descriptions_received(const Forest& forest,
+                                       const std::vector<bool>& failed);
+
+/// Same question for the single BFS d-ary tree over n receivers: 1 if the
+/// stream still reaches x, else 0.
+std::vector<int> single_tree_reception(sim::NodeKey n, int d,
+                                       const std::vector<bool>& failed);
+
+struct ResilienceSummary {
+  sim::NodeKey live = 0;           // receivers that did not fail
+  sim::NodeKey fully_served = 0;   // live receivers with all d descriptions
+  sim::NodeKey degraded = 0;       // live receivers with 1..d-1 descriptions
+  sim::NodeKey starved = 0;        // live receivers with 0 descriptions
+  double mean_quality = 0;         // mean fraction of descriptions received
+};
+
+ResilienceSummary summarize_resilience(const std::vector<int>& descriptions,
+                                       const std::vector<bool>& failed,
+                                       int d);
+
+/// Uniform random failure set of exactly `failures` receivers out of n.
+std::vector<bool> random_failures(sim::NodeKey n, sim::NodeKey failures,
+                                  util::Prng& rng);
+
+}  // namespace streamcast::multitree

@@ -1,0 +1,79 @@
+#include "src/multitree/schedule.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/util/ints.hpp"
+
+namespace streamcast::multitree {
+
+std::vector<Slot> arrival_offsets(const Forest& forest, int k) {
+  const int d = forest.d();
+  const NodeKey n_pad = forest.n_pad();
+  std::vector<Slot> offset(static_cast<std::size_t>(n_pad) + 1, 0);
+  // Positions are BFS-ordered, so parents are computed before children.
+  for (NodeKey p = 1; p <= n_pad; ++p) {
+    const int c = forest.child_index(p);
+    if (p <= static_cast<NodeKey>(d)) {
+      offset[static_cast<std::size_t>(p)] = c;  // S sends to child c in slot c
+    } else {
+      const Slot parent = offset[static_cast<std::size_t>(forest.parent_pos(p))];
+      offset[static_cast<std::size_t>(p)] =
+          parent + 1 + util::mod_floor(c - parent - 1, d);
+    }
+  }
+  (void)k;  // the offsets depend only on the position lattice, not on k
+  return offset;
+}
+
+std::vector<Slot> closed_form_delays(const Forest& forest) {
+  const int d = forest.d();
+  // A_k(p) is identical for every k (pure position arithmetic), so compute
+  // it once and index by each node's per-tree position.
+  const auto offsets = arrival_offsets(forest, 0);
+  std::vector<Slot> delay(static_cast<std::size_t>(forest.n()) + 1, 0);
+  for (NodeKey x = 1; x <= forest.n(); ++x) {
+    Slot a = 0;
+    for (int k = 0; k < d; ++k) {
+      const NodeKey pos = forest.position_of(k, x);
+      a = std::max(a, offsets[static_cast<std::size_t>(pos)] - k);
+    }
+    delay[static_cast<std::size_t>(x)] = a;
+  }
+  return delay;
+}
+
+std::vector<Slot> closed_form_delays_pipelined(const Forest& forest) {
+  const int d = forest.d();
+  const auto offsets = arrival_offsets(forest, 0);
+  std::vector<Slot> delay(static_cast<std::size_t>(forest.n()) + 1, 0);
+  for (NodeKey x = 1; x <= forest.n(); ++x) {
+    Slot a = 0;
+    for (int k = 0; k < d; ++k) {
+      NodeKey pos = forest.position_of(k, x);
+      // Level-1 ancestor: walk up until the parent is the source.
+      NodeKey top = pos;
+      while (forest.parent_pos(top) != 0) top = forest.parent_pos(top);
+      const Slot slip = forest.child_index(top) < k ? d : 0;
+      a = std::max(a, offsets[static_cast<std::size_t>(pos)] - k + slip);
+    }
+    delay[static_cast<std::size_t>(x)] = a;
+  }
+  return delay;
+}
+
+Slot closed_form_worst_delay(const Forest& forest) {
+  const auto d = closed_form_delays(forest);
+  return *std::max_element(d.begin() + 1, d.end());
+}
+
+double closed_form_average_delay(const Forest& forest) {
+  const auto d = closed_form_delays(forest);
+  double sum = 0;
+  for (NodeKey x = 1; x <= forest.n(); ++x) {
+    sum += static_cast<double>(d[static_cast<std::size_t>(x)]);
+  }
+  return sum / static_cast<double>(forest.n());
+}
+
+}  // namespace streamcast::multitree

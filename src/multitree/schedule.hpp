@@ -1,0 +1,53 @@
+// Closed-form round-robin schedule arithmetic (§2.2.3).
+//
+// Transmission rule: with t = m*d + r, the source sends packet (k + m*d) to
+// its r-th child in tree T_k in slot t; every interior node of T_k forwards
+// to its r-th child in slot t the packet it is currently disseminating. The
+// schedule is perfectly periodic, so the arrival slot of tree-k packet
+// (k + m*d) at position p is  m*d + A_k(p)  for a per-position offset A_k(p)
+// computed by one top-down pass:
+//     A_k(child at index c of q) = A_k(q) + 1 + ((c - A_k(q) - 1) mod d)
+// with A_k(position p in level 1) = (p-1) mod d.
+//
+// From the offsets, the playback delay of node x (DESIGN.md §3) is closed
+// form:  a(x) = max_k ( A_k(pos_k(x)) - k ),   since recv(j) - j =
+// A_k(p) - k for every tree-k packet j. The simulation-based protocol in
+// protocol.hpp must agree with these values exactly; tests cross-check.
+#pragma once
+
+#include <vector>
+
+#include "src/multitree/forest.hpp"
+#include "src/sim/packet.hpp"
+
+namespace streamcast::multitree {
+
+using sim::Slot;
+
+/// A_k(p) for every position p in [1, n_pad]; index 0 is unused (0).
+std::vector<Slot> arrival_offsets(const Forest& forest, int k);
+
+/// Closed-form playback delay a(x) for every real receiver x in [1, n];
+/// index 0 unused (0). Pre-recorded mode; the live-prebuffered mode adds
+/// exactly d to every entry.
+std::vector<Slot> closed_form_delays(const Forest& forest);
+
+/// Closed form for the pipelined live mode — the analysis the paper skips
+/// ("the transmission schedules of the different trees are not homogeneous;
+/// thus, this scheme is not easy to analyze"). With packet p generated in
+/// slot p, the source's send of tree-k packet k+m*d to its child r slips
+/// from slot m*d+r to (m+1)*d+r exactly when r < k; the slip preserves the
+/// slot residue, so it propagates unchanged through the whole subtree under
+/// that child. Hence
+///     a_pipe(x) = max_k ( A(pos_k(x)) - k + (r1_k(x) < k ? d : 0) )
+/// where r1_k(x) is the child index of x's level-1 ancestor in tree k.
+/// Verified against engine simulation in the test suite.
+std::vector<Slot> closed_form_delays_pipelined(const Forest& forest);
+
+/// max over receivers of closed_form_delays.
+Slot closed_form_worst_delay(const Forest& forest);
+
+/// mean over receivers of closed_form_delays.
+double closed_form_average_delay(const Forest& forest);
+
+}  // namespace streamcast::multitree

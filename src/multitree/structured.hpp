@@ -1,0 +1,30 @@
+// Structured disjoint tree construction (§2.2.1).
+//
+// Tree T_0 is filled in BFS order with G_0 ⊕ G_1 ⊕ ... ⊕ G_{d-1} ⊕ G_d. Each
+// subsequent tree rotates the group order left by one (so G_k leads tree T_k
+// and provides its interior nodes); after every P = d / gcd(I, d) rotations
+// the elements *within* each interior group rotate right by one; and G_d
+// rotates right by one before every tree. The appendix proof shows the
+// resulting positions of any node are pairwise non-congruent mod d, which is
+// exactly the collision-freedom the round-robin schedule needs.
+#pragma once
+
+#include "src/multitree/forest.hpp"
+
+namespace streamcast::multitree {
+
+/// Builds the structured forest for n receivers and degree d.
+Forest build_structured(NodeKey n, int d);
+
+/// O(1) closed form of the structured placement: the position of node x in
+/// tree k, without building anything. Lets a node compute its entire
+/// schedule (positions, parents, receive residues) from (N, d, x) alone —
+/// the same local-computability the greedy parity rule gives.
+///
+/// Derivation from the §2.2.1 rotations: after k group-rotations G_i leads
+/// at block (i - k) mod d, each interior group's elements have rotated
+/// right floor(k / P) times (P = d / gcd(I, d)), and G_d has rotated right
+/// k times. Verified equal to build_structured over an (N, d) grid.
+NodeKey structured_position(NodeKey n, int d, int k, NodeKey x);
+
+}  // namespace streamcast::multitree

@@ -1,0 +1,77 @@
+#include "src/multitree/validate.hpp"
+
+#include "src/multitree/greedy.hpp"
+#include "src/util/ints.hpp"
+
+namespace streamcast::multitree {
+
+namespace {
+
+std::string at(int k, NodeKey node) {
+  return " (tree " + std::to_string(k) + ", node " + std::to_string(node) +
+         ")";
+}
+
+}  // namespace
+
+ValidationReport validate_forest(const Forest& forest) {
+  ValidationReport report;
+  const int d = forest.d();
+  const NodeKey n_pad = forest.n_pad();
+
+  // 1. Permutation property is enforced by Forest::set_tree; re-check that
+  //    every tree was actually installed.
+  for (int k = 0; k < d; ++k) {
+    if (forest.tree(k).size() != static_cast<std::size_t>(n_pad) + 1) {
+      report.fail("tree " + std::to_string(k) + " not installed");
+      return report;
+    }
+  }
+
+  for (NodeKey node = 1; node <= n_pad; ++node) {
+    // 2. Interior in at most one tree; 3. dummies never interior.
+    int interior_count = 0;
+    for (int k = 0; k < d; ++k) {
+      if (forest.is_interior_pos(forest.position_of(k, node))) {
+        ++interior_count;
+        if (forest.is_dummy(node)) {
+          report.fail("dummy is interior" + at(k, node));
+        }
+      }
+    }
+    if (interior_count > 1) {
+      report.fail("node interior in " + std::to_string(interior_count) +
+                  " trees (node " + std::to_string(node) + ")");
+    }
+
+    // 4. Child indices pairwise distinct across trees.
+    std::vector<bool> seen(static_cast<std::size_t>(d), false);
+    for (int k = 0; k < d; ++k) {
+      const int c = forest.child_index(forest.position_of(k, node));
+      if (seen[static_cast<std::size_t>(c)]) {
+        report.fail("child-index collision mod d" + at(k, node));
+      }
+      seen[static_cast<std::size_t>(c)] = true;
+    }
+  }
+  return report;
+}
+
+ValidationReport validate_greedy_parity(const Forest& forest) {
+  ValidationReport report;
+  const int d = forest.d();
+  for (NodeKey node = 1; node <= forest.n_pad(); ++node) {
+    const int p = parity_of(node, d);
+    for (int k = 0; k < d; ++k) {
+      const int slot = forest.child_index(forest.position_of(k, node));
+      const int expected =
+          static_cast<int>(util::mod_floor(p - k, d));
+      if (slot != expected) {
+        report.fail("greedy parity slot mismatch" + at(k, node));
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace streamcast::multitree

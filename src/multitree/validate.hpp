@@ -1,0 +1,38 @@
+// Machine-checked versions of the properties the paper proves in its
+// appendix. Both constructions (and every churn-mutated forest) must satisfy
+// all of them; the property-test suites sweep these over (N, d) grids.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/multitree/forest.hpp"
+
+namespace streamcast::multitree {
+
+struct ValidationReport {
+  bool ok = true;
+  std::vector<std::string> errors;
+
+  void fail(std::string why) {
+    ok = false;
+    errors.push_back(std::move(why));
+  }
+};
+
+/// Checks:
+///  1. Every tree is a permutation of all (padded) receiver ids.
+///  2. Interior-disjoint: each receiver occupies an interior position in at
+///     most one tree.
+///  3. Dummies are leaves in every tree.
+///  4. Collision-freedom: each receiver's child indices (pos-1) mod d are
+///     pairwise distinct across the d trees (the appendix congruence
+///     property — this is what makes the round-robin schedule receive at
+///     most one packet per node per slot).
+ValidationReport validate_forest(const Forest& forest);
+
+/// Additional greedy-specific invariant: node i occupies child slot
+/// (p_i - k) mod d in tree k, where p_i = (i-1) mod d (§2.2.2).
+ValidationReport validate_greedy_parity(const Forest& forest);
+
+}  // namespace streamcast::multitree

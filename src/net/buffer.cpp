@@ -1,0 +1,43 @@
+#include "src/net/buffer.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace streamcast::net {
+
+PlaybackBuffer::PlaybackBuffer(Slot start_slot, PacketId first_packet)
+    : start_(start_slot), clock_(start_slot - 1), next_due_(first_packet) {}
+
+void PlaybackBuffer::on_receive(Slot t, PacketId p) {
+  assert(p >= 0);
+  // The engine delivers all of slot t's packets before playback advances
+  // through slot t, so a packet received in its due slot lands in held_
+  // first and plays on time.
+  (void)t;
+  if (p < next_due_ || held_.contains(p)) {
+    ++late_;
+    return;
+  }
+  held_.insert(p);
+  max_occupancy_ = std::max(max_occupancy_, held_.size());
+}
+
+void PlaybackBuffer::advance_to(Slot t) {
+  // Slots before the playback start (clock_ begins at start_-1) are no-ops,
+  // so callers may tick from any earlier slot.
+  while (clock_ < t) {
+    ++clock_;
+    if (clock_ < start_) continue;
+    // Packet due this slot.
+    const PacketId due = next_due_++;
+    auto it = held_.find(due);
+    if (it != held_.end()) {
+      held_.erase(it);
+      ++played_;
+    } else {
+      ++hiccups_;
+    }
+  }
+}
+
+}  // namespace streamcast::net

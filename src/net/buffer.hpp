@@ -1,0 +1,69 @@
+// Receiver-side playback buffer (§2.2): packets may arrive out of order but
+// must be played in order at one packet per slot.
+//
+// This is the online model used by the examples and the churn experiments;
+// the metrics module recomputes the same quantities post-hoc from arrival
+// matrices, and the two are cross-checked in tests.
+#pragma once
+
+#include <cstdint>
+#include <set>
+
+#include "src/sim/packet.hpp"
+
+namespace streamcast::net {
+
+using sim::PacketId;
+using sim::Slot;
+
+/// Playback starts at `start_slot`: packet j is due in slot `start_slot + j`.
+/// A packet received in its due slot still plays on time (the paper's node 1
+/// plays packet 2 in the slot after receiving packets out of order; see
+/// DESIGN.md §3 for the convention). A packet missing in its due slot counts
+/// as one hiccup and is skipped — playback does not stall, matching how the
+/// churn evaluation counts affected packets.
+class PlaybackBuffer {
+ public:
+  /// Playback begins in `start_slot` with `first_packet` (0 for a viewer
+  /// present from the beginning; a mid-stream joiner starts at the packet
+  /// the overlay is currently distributing). Packets below first_packet are
+  /// counted as late/duplicate, never played.
+  explicit PlaybackBuffer(Slot start_slot, PacketId first_packet = 0);
+
+  /// Records receipt of packet p in slot t. Receiving a packet at or before
+  /// the current playback point (too late, or duplicate) is counted but not
+  /// stored.
+  void on_receive(Slot t, PacketId p);
+
+  /// Plays every packet due in slots (last_advanced, t]. Call with
+  /// monotonically non-decreasing t; typically once per simulated slot after
+  /// deliveries.
+  void advance_to(Slot t);
+
+  /// Packets currently held (received, not yet played).
+  std::size_t occupancy() const { return held_.size(); }
+  std::size_t max_occupancy() const { return max_occupancy_; }
+
+  /// Packets that were not present in their due slot.
+  std::int64_t hiccups() const { return hiccups_; }
+  /// Packets that arrived after their due slot (subset of the hiccups that
+  /// eventually showed up) plus duplicates.
+  std::int64_t late_or_duplicate() const { return late_; }
+  /// Packets played on time so far.
+  std::int64_t played() const { return played_; }
+
+  Slot start_slot() const { return start_; }
+  PacketId next_due() const { return next_due_; }
+
+ private:
+  Slot start_;
+  Slot clock_;          // last slot advanced through
+  PacketId next_due_;
+  std::set<PacketId> held_;
+  std::size_t max_occupancy_ = 0;
+  std::int64_t hiccups_ = 0;
+  std::int64_t late_ = 0;
+  std::int64_t played_ = 0;
+};
+
+}  // namespace streamcast::net

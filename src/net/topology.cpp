@@ -1,0 +1,102 @@
+#include "src/net/topology.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace streamcast::net {
+
+UniformCluster::UniformCluster(NodeKey n_receivers, int source_capacity,
+                               Slot t_i)
+    : n_receivers_(n_receivers), source_capacity_(source_capacity), t_i_(t_i) {
+  if (n_receivers < 0) throw std::invalid_argument("negative receiver count");
+  if (source_capacity < 1) throw std::invalid_argument("source capacity < 1");
+  if (t_i < 1) throw std::invalid_argument("latency < 1");
+}
+
+Slot UniformCluster::latency(NodeKey from, NodeKey to) const {
+  assert(from >= 0 && from <= n_receivers_);
+  assert(to >= 0 && to <= n_receivers_);
+  (void)from;
+  (void)to;
+  return t_i_;
+}
+
+int UniformCluster::send_capacity(NodeKey n) const {
+  return n == 0 ? source_capacity_ : 1;
+}
+
+int UniformCluster::recv_capacity(NodeKey n) const {
+  // The source never receives; giving it capacity 0 turns any protocol bug
+  // that routes data back to S into a hard engine error.
+  return n == 0 ? 0 : 1;
+}
+
+ClusteredTopology::ClusteredTopology(std::vector<ClusterSpec> clusters,
+                                     int big_d, int small_d, Slot t_c,
+                                     Slot t_i)
+    : specs_(std::move(clusters)),
+      big_d_(big_d),
+      small_d_(small_d),
+      t_c_(t_c),
+      t_i_(t_i) {
+  if (specs_.empty()) throw std::invalid_argument("need >= 1 cluster");
+  if (big_d_ < 3) throw std::invalid_argument("paper requires D >= 3");
+  if (small_d_ < 1) throw std::invalid_argument("d < 1");
+  if (t_c_ <= t_i_) throw std::invalid_argument("paper assumes T_c > T_i");
+  NodeKey key = 1;  // key 0 = global source
+  owner_.push_back(0);
+  for (const auto& spec : specs_) {
+    if (spec.n_receivers < 0) {
+      throw std::invalid_argument("negative receiver count");
+    }
+    cluster_base_.push_back(key);
+    const NodeKey span = 2 + spec.n_receivers;  // S_i, S'_i, receivers
+    for (NodeKey i = 0; i < span; ++i) {
+      owner_.push_back(static_cast<int>(cluster_base_.size()) - 1);
+    }
+    key += span;
+  }
+  total_ = key;
+}
+
+NodeKey ClusteredTopology::super_node(int cluster) const {
+  assert(cluster >= 0 && cluster < clusters());
+  return cluster_base_[static_cast<std::size_t>(cluster)];
+}
+
+NodeKey ClusteredTopology::local_root(int cluster) const {
+  return super_node(cluster) + 1;
+}
+
+NodeKey ClusteredTopology::receiver(int cluster, NodeKey local_id) const {
+  assert(local_id >= 1 &&
+         local_id <= specs_[static_cast<std::size_t>(cluster)].n_receivers);
+  return super_node(cluster) + 1 + local_id;
+}
+
+NodeKey ClusteredTopology::cluster_receivers(int cluster) const {
+  return specs_[static_cast<std::size_t>(cluster)].n_receivers;
+}
+
+int ClusteredTopology::cluster_of(NodeKey n) const {
+  assert(n >= 0 && n < total_);
+  return owner_[static_cast<std::size_t>(n)];
+}
+
+Slot ClusteredTopology::latency(NodeKey from, NodeKey to) const {
+  return cluster_of(from) == cluster_of(to) ? t_i_ : t_c_;
+}
+
+int ClusteredTopology::send_capacity(NodeKey n) const {
+  if (n == 0) return big_d_;  // global source S has capacity D
+  const int c = cluster_of(n);
+  if (n == super_node(c)) return big_d_;   // S_i has the capacity of S
+  if (n == local_root(c)) return small_d_; // S'_i has capacity d
+  return 1;
+}
+
+int ClusteredTopology::recv_capacity(NodeKey n) const {
+  return n == 0 ? 0 : 1;
+}
+
+}  // namespace streamcast::net

@@ -1,0 +1,84 @@
+#include "src/sim/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace streamcast::sim {
+
+namespace {
+
+std::uint64_t delivery_key(NodeKey node, PacketId packet) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(node)) << 40) ^
+         static_cast<std::uint64_t>(packet);
+}
+
+[[noreturn]] void violation(const std::string& what, Slot t, const Tx& tx) {
+  throw ProtocolViolation(what + " (slot " + std::to_string(t) + ", " +
+                          std::to_string(tx.from) + " -> " +
+                          std::to_string(tx.to) + ", packet " +
+                          std::to_string(tx.packet) + ")");
+}
+
+}  // namespace
+
+Engine::Engine(const net::Topology& topology, Protocol& protocol,
+               EngineOptions options)
+    : topology_(topology), protocol_(protocol), options_(options) {
+  send_used_.resize(static_cast<std::size_t>(topology_.size()));
+  recv_used_.resize(static_cast<std::size_t>(topology_.size()));
+}
+
+void Engine::run_until(Slot horizon) {
+  while (now_ < horizon) step();
+}
+
+void Engine::step() {
+  const Slot t = now_;
+
+  // Phase 1: collect and validate this slot's transmissions.
+  tx_scratch_.clear();
+  protocol_.transmit(t, tx_scratch_);
+  std::ranges::fill(send_used_, 0);
+  for (const Tx& tx : tx_scratch_) {
+    if (tx.from < 0 || tx.from >= topology_.size() || tx.to < 0 ||
+        tx.to >= topology_.size()) {
+      violation("node key out of range", t, tx);
+    }
+    if (tx.from == tx.to) violation("self transmission", t, tx);
+    if (tx.packet < 0) violation("negative packet id", t, tx);
+    auto& used = send_used_[static_cast<std::size_t>(tx.from)];
+    if (++used > topology_.send_capacity(tx.from)) {
+      violation("send capacity exceeded", t, tx);
+    }
+    const Slot latency = topology_.latency(tx.from, tx.to);
+    assert(latency >= 1);
+    in_flight_[t + latency - 1].push_back(
+        Delivery{.sent = t, .received = t + latency - 1, .tx = tx});
+    ++stats_.transmissions;
+  }
+
+  // Phase 2: complete arrivals scheduled for this slot.
+  const auto bucket = in_flight_.find(t);
+  if (bucket != in_flight_.end()) {
+    std::ranges::fill(recv_used_, 0);
+    for (const Delivery& d : bucket->second) {
+      auto& used = recv_used_[static_cast<std::size_t>(d.tx.to)];
+      if (++used > topology_.recv_capacity(d.tx.to)) {
+        violation("receive capacity exceeded", t, d.tx);
+      }
+      if (!seen_.insert(delivery_key(d.tx.to, d.tx.packet)).second) {
+        ++stats_.duplicate_deliveries;
+        if (options_.forbid_duplicates) {
+          violation("duplicate delivery", t, d.tx);
+        }
+      }
+      for (DeliveryObserver* obs : observers_) obs->on_delivery(d);
+      protocol_.deliver(t, d.tx);
+    }
+    in_flight_.erase(bucket);
+  }
+
+  ++now_;
+}
+
+}  // namespace streamcast::sim

@@ -1,0 +1,34 @@
+// Transmission records exchanged between protocols and the slot engine.
+#pragma once
+
+#include "src/sim/packet.hpp"
+
+namespace streamcast::sim {
+
+/// One packet transmission initiated in a given slot. With link latency L
+/// slots, a transmission sent in slot `sent` completes (the packet is
+/// "received") in slot `sent + L - 1` and is forwardable by the receiver from
+/// slot `sent + L` on. For the intra-cluster latency of 1 this matches the
+/// paper's example: S sends packet 0 to node 1 in slot 0, and node 1 forwards
+/// it from slot 1.
+struct Tx {
+  NodeKey from = kNoNode;
+  NodeKey to = kNoNode;
+  PacketId packet = kNoPacket;
+  /// Protocol-defined stream tag (tree index k for the multi-tree scheme,
+  /// cube index for the hypercube chain); purely informational.
+  std::int32_t tag = 0;
+
+  friend bool operator==(const Tx&, const Tx&) = default;
+};
+
+/// A completed delivery as observed by the engine.
+struct Delivery {
+  Slot sent = 0;
+  Slot received = 0;
+  Tx tx;
+
+  friend bool operator==(const Delivery&, const Delivery&) = default;
+};
+
+}  // namespace streamcast::sim

@@ -1,0 +1,24 @@
+// Fundamental identifiers of the slot-synchronous streaming model (§2 of the
+// paper): discrete time slots, stream packet sequence numbers, and node keys.
+#pragma once
+
+#include <cstdint>
+
+namespace streamcast::sim {
+
+/// Discrete time slot, t = 0, 1, 2, ... One slot is the playback time of a
+/// single packet (§2.2).
+using Slot = std::int64_t;
+
+/// Position in the (potentially infinite) packet stream, 0-based.
+using PacketId = std::int64_t;
+
+/// Flat index of a node in the simulated world. Every scheme reserves key 0
+/// for the stream source of its world; receivers are 1..N (plus whatever a
+/// multi-cluster topology appends).
+using NodeKey = std::int32_t;
+
+inline constexpr NodeKey kNoNode = -1;
+inline constexpr PacketId kNoPacket = -1;
+
+}  // namespace streamcast::sim

@@ -1,0 +1,30 @@
+// The protocol interface every streaming scheme implements.
+//
+// The engine drives the world slot by slot: at slot t it first asks the
+// protocol which transmissions start in t (the protocol sees node state as of
+// the end of slot t-1), then completes every transmission whose arrival slot
+// is t and reports each to the protocol via deliver().
+#pragma once
+
+#include <vector>
+
+#include "src/sim/event.hpp"
+#include "src/sim/packet.hpp"
+
+namespace streamcast::sim {
+
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+
+  /// Appends all transmissions initiated in slot t to `out`. The engine
+  /// validates them against the topology's capacity limits.
+  virtual void transmit(Slot t, std::vector<Tx>& out) = 0;
+
+  /// Notifies the protocol that `tx.to` received `tx.packet` in slot t.
+  /// Called after all of slot t's transmit() output has been queued, so state
+  /// updates here are visible from slot t+1 on — never retroactively.
+  virtual void deliver(Slot t, const Tx& tx) = 0;
+};
+
+}  // namespace streamcast::sim

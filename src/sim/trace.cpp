@@ -1,0 +1,29 @@
+#include "src/sim/trace.hpp"
+
+namespace streamcast::sim {
+
+std::vector<Delivery> Trace::received_by(NodeKey node) const {
+  std::vector<Delivery> out;
+  for (const auto& d : deliveries_) {
+    if (d.tx.to == node) out.push_back(d);
+  }
+  return out;
+}
+
+std::vector<Delivery> Trace::sent_by(NodeKey node) const {
+  std::vector<Delivery> out;
+  for (const auto& d : deliveries_) {
+    if (d.tx.from == node) out.push_back(d);
+  }
+  return out;
+}
+
+std::vector<Delivery> Trace::sent_in(Slot t) const {
+  std::vector<Delivery> out;
+  for (const auto& d : deliveries_) {
+    if (d.sent == t) out.push_back(d);
+  }
+  return out;
+}
+
+}  // namespace streamcast::sim

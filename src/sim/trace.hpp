@@ -1,0 +1,31 @@
+// Delivery trace: an ordered record of every completed transmission, used by
+// the figure-reproduction benches (Figures 2 and 6 are per-slot schedule
+// tables) and by tests that assert exact schedules.
+#pragma once
+
+#include <vector>
+
+#include "src/sim/event.hpp"
+
+namespace streamcast::sim {
+
+class Trace {
+ public:
+  void record(const Delivery& d) { deliveries_.push_back(d); }
+
+  const std::vector<Delivery>& all() const { return deliveries_; }
+
+  /// Deliveries received by `node`, in receive-slot order.
+  std::vector<Delivery> received_by(NodeKey node) const;
+
+  /// Deliveries sent by `node`, in send-slot order.
+  std::vector<Delivery> sent_by(NodeKey node) const;
+
+  /// Deliveries whose transmission started in slot t.
+  std::vector<Delivery> sent_in(Slot t) const;
+
+ private:
+  std::vector<Delivery> deliveries_;
+};
+
+}  // namespace streamcast::sim

@@ -1,0 +1,41 @@
+#include "src/supertree/analysis.hpp"
+
+#include <cmath>
+
+#include "src/hypercube/analysis.hpp"
+#include "src/multitree/analysis.hpp"
+
+namespace streamcast::supertree {
+
+int backbone_depth(int k_clusters, int big_d) {
+  return build_backbone(k_clusters, big_d).max_depth();
+}
+
+double theorem1_bound(int k_clusters, int big_d, Slot t_c, Slot t_i, int d,
+                      int h) {
+  const double log_k = k_clusters == 1
+                           ? 1.0
+                           : std::log(static_cast<double>(k_clusters)) /
+                                 std::log(static_cast<double>(big_d - 1));
+  return static_cast<double>(t_c) * log_k +
+         static_cast<double>(t_i) * d * (h - 1);
+}
+
+Slot structural_bound(int k_clusters, int big_d, Slot t_c, Slot t_i, int d,
+                      NodeKey max_cluster_size) {
+  // Packet j reaches the depth-L super node in slot j + L*T_c - 1 (each hop:
+  // one relay slot folded into the T_c transit), its local root T_i later,
+  // and the intra-cluster round-robin adds at most its worst-case delay plus
+  // one extra round of residue alignment caused by the gate.
+  const Slot depth = backbone_depth(k_clusters, big_d);
+  return depth * t_c + t_i +
+         multitree::worst_delay_bound(max_cluster_size, d) + d;
+}
+
+Slot structural_bound_hypercube(int k_clusters, int big_d, Slot t_c, Slot t_i,
+                                NodeKey max_cluster_size) {
+  const Slot depth = backbone_depth(k_clusters, big_d);
+  return depth * t_c + t_i + hypercube::worst_delay(max_cluster_size);
+}
+
+}  // namespace streamcast::supertree

@@ -1,0 +1,33 @@
+// Theorem 1: worst-case end-to-end playback delay of the composed scheme is
+// on the order of  T_c * log_{D-1}(K) + T_i * d * (h - 1).
+#pragma once
+
+#include "src/supertree/backbone.hpp"
+
+namespace streamcast::supertree {
+
+/// Backbone hop count to the deepest super node (exact, from construction).
+int backbone_depth(int k_clusters, int big_d);
+
+/// The paper's closed form T_c * log_{D-1}(K) + T_i * d(h-1) evaluated
+/// literally (real-valued log; h is the intra-cluster tree height).
+double theorem1_bound(int k_clusters, int big_d, Slot t_c, Slot t_i, int d,
+                      int h);
+
+/// Structural upper bound on the measured worst-case delay under DESIGN.md
+/// conventions: the deepest S'_i has every packet by
+///   depth * T_c + T_i  slots after S sent it (backbone pipeline, relay
+/// latency 1 per super), plus the intra-cluster worst delay h*d - 1 and one
+/// slot of relay alignment.
+Slot structural_bound(int k_clusters, int big_d, Slot t_c, Slot t_i, int d,
+                      NodeKey max_cluster_size);
+
+/// Same, for the hypercube-in-clusters composition: every member of a
+/// cluster at backbone depth L plays at its chain's synchronized delay
+/// shifted by the cluster offset L*T_c + T_i. (The chain's own clock is
+/// started at exactly that offset, so this is an equality for the deepest
+/// cluster's worst member, not just a bound.)
+Slot structural_bound_hypercube(int k_clusters, int big_d, Slot t_c, Slot t_i,
+                                NodeKey max_cluster_size);
+
+}  // namespace streamcast::supertree

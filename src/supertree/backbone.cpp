@@ -1,0 +1,40 @@
+#include "src/supertree/backbone.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace streamcast::supertree {
+
+int Backbone::max_depth() const {
+  return *std::max_element(depth.begin(), depth.end());
+}
+
+Backbone build_backbone(int k_clusters, int big_d) {
+  if (k_clusters < 1) throw std::invalid_argument("need >= 1 cluster");
+  if (big_d < 3) throw std::invalid_argument("paper requires D >= 3");
+  Backbone bb;
+  bb.parent.assign(static_cast<std::size_t>(k_clusters), -1);
+  bb.kids.assign(static_cast<std::size_t>(k_clusters), {});
+  bb.depth.assign(static_cast<std::size_t>(k_clusters), 1);
+
+  // BFS fill: S takes the first D clusters; every subsequent cluster hangs
+  // off the earliest super node that still has a free child slot (D-1 per
+  // interior super). This keeps the tree tight: only the last-filled super
+  // can be short of children.
+  int next_parent = 0;  // index of the super currently taking children
+  for (int c = 0; c < k_clusters; ++c) {
+    if (c < big_d) continue;  // fed directly by S
+    while (static_cast<int>(
+               bb.kids[static_cast<std::size_t>(next_parent)].size()) ==
+           big_d - 1) {
+      ++next_parent;
+    }
+    bb.parent[static_cast<std::size_t>(c)] = next_parent;
+    bb.kids[static_cast<std::size_t>(next_parent)].push_back(c);
+    bb.depth[static_cast<std::size_t>(c)] =
+        bb.depth[static_cast<std::size_t>(next_parent)] + 1;
+  }
+  return bb;
+}
+
+}  // namespace streamcast::supertree

@@ -1,0 +1,38 @@
+// Construction of the super-tree τ over clusters (§2.1).
+//
+// Step 1: the cluster super nodes S_1..S_K form a tree rooted at the global
+// source S. S has degree D; every other interior node has degree at most
+// D-1 (one edge to its parent plus up to D-1 children... the paper counts
+// total degree, so interior supers take D-1 children while S takes D), kept
+// tight: the tree is filled in BFS order so at most one interior node is
+// short of children, in the next-to-last layer.
+// Step 2: S'_i hangs off S_i.
+// Step 3: each cluster runs the intra-cluster interior-disjoint forest
+// rooted at S'_i (composed in supertree/protocol.hpp).
+#pragma once
+
+#include <vector>
+
+#include "src/sim/packet.hpp"
+
+namespace streamcast::supertree {
+
+using sim::NodeKey;
+using sim::Slot;
+
+/// Backbone over K clusters: parent[i] is the cluster index feeding cluster
+/// i, or -1 when cluster i is fed directly by the global source S.
+struct Backbone {
+  std::vector<int> parent;             // [cluster] -> upstream cluster or -1
+  std::vector<std::vector<int>> kids;  // [cluster] -> downstream clusters
+  std::vector<int> depth;              // hops from S to S_i (>= 1)
+
+  int clusters() const { return static_cast<int>(parent.size()); }
+  int max_depth() const;
+};
+
+/// Builds the BFS-tight backbone for K clusters with source degree big_d
+/// (D >= 3) and interior degree big_d - 1.
+Backbone build_backbone(int k_clusters, int big_d);
+
+}  // namespace streamcast::supertree

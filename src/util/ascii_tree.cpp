@@ -1,0 +1,82 @@
+#include "src/util/ascii_tree.hpp"
+
+#include <cassert>
+#include <queue>
+#include <sstream>
+
+namespace streamcast::util {
+
+namespace {
+
+std::vector<std::vector<int>> children_of(const std::vector<int>& parent,
+                                          int* root_out) {
+  std::vector<std::vector<int>> children(parent.size());
+  int root = -1;
+  for (std::size_t i = 0; i < parent.size(); ++i) {
+    if (parent[i] < 0) {
+      assert(root == -1 && "exactly one root expected");
+      root = static_cast<int>(i);
+    } else {
+      assert(static_cast<std::size_t>(parent[i]) < parent.size());
+      children[static_cast<std::size_t>(parent[i])].push_back(
+          static_cast<int>(i));
+    }
+  }
+  assert(root >= 0 && "tree must have a root");
+  *root_out = root;
+  return children;
+}
+
+void render_subtree(int node, const std::vector<std::vector<int>>& children,
+                    const std::function<std::string(int)>& label,
+                    const std::string& prefix, bool is_last, bool is_root,
+                    std::ostringstream& out) {
+  if (is_root) {
+    out << label(node) << '\n';
+  } else {
+    out << prefix << (is_last ? "`-- " : "+-- ") << label(node) << '\n';
+  }
+  const auto& kids = children[static_cast<std::size_t>(node)];
+  for (std::size_t i = 0; i < kids.size(); ++i) {
+    const std::string child_prefix =
+        is_root ? "" : prefix + (is_last ? "    " : "|   ");
+    render_subtree(kids[i], children, label, child_prefix,
+                   i + 1 == kids.size(), false, out);
+  }
+}
+
+}  // namespace
+
+std::string render_tree(const std::vector<int>& parent,
+                        const std::function<std::string(int)>& label) {
+  int root = -1;
+  const auto children = children_of(parent, &root);
+  std::ostringstream out;
+  render_subtree(root, children, label, "", true, true, out);
+  return out.str();
+}
+
+std::string render_levels(const std::vector<int>& parent,
+                          const std::function<std::string(int)>& label) {
+  int root = -1;
+  const auto children = children_of(parent, &root);
+  std::ostringstream out;
+  std::vector<int> level{root};
+  bool first_level = true;
+  while (!level.empty()) {
+    if (!first_level) out << " | ";
+    first_level = false;
+    std::vector<int> next;
+    for (std::size_t i = 0; i < level.size(); ++i) {
+      if (i) out << ' ';
+      out << label(level[i]);
+      const auto& kids = children[static_cast<std::size_t>(level[i])];
+      next.insert(next.end(), kids.begin(), kids.end());
+    }
+    level = std::move(next);
+  }
+  out << '\n';
+  return out.str();
+}
+
+}  // namespace streamcast::util

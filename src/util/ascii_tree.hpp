@@ -1,0 +1,29 @@
+// ASCII rendering of rooted trees, used by the figure-reproduction benches
+// (Figures 1 and 3 of the paper are tree diagrams).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace streamcast::util {
+
+/// A generic rooted tree given as a parent array plus node labels.
+/// `parent[i] == -1` marks the root (exactly one). Children print in index
+/// order. The renderer produces the familiar `+--` box-drawing layout:
+///
+///   S
+///   +-- 1
+///   |   +-- 4
+///   +-- 2
+///
+/// Returns the rendition as a single string (one trailing newline).
+std::string render_tree(const std::vector<int>& parent,
+                        const std::function<std::string(int)>& label);
+
+/// Renders one BFS level per line: "S | 1 2 3 | 4 5 ... | ...", which is how
+/// the paper's Figure 3 lays its trees out.
+std::string render_levels(const std::vector<int>& parent,
+                          const std::function<std::string(int)>& label);
+
+}  // namespace streamcast::util

@@ -1,0 +1,23 @@
+// Graphviz DOT export for overlays — lets users inspect the constructed
+// trees/cubes with standard tooling (`dot -Tsvg`).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace streamcast::util {
+
+/// Renders a parent-array tree (parent[i] == -1 marks the root) as a DOT
+/// digraph named `name`, edges parent -> child, labels via `label`.
+std::string tree_to_dot(const std::string& name,
+                        const std::vector<int>& parent,
+                        const std::function<std::string(int)>& label);
+
+/// Renders several trees as one DOT file with a subgraph per tree (shared
+/// node identities get per-tree suffixes so layouts stay separate).
+std::string forest_to_dot(const std::string& name,
+                          const std::vector<std::vector<int>>& parents,
+                          const std::function<std::string(int)>& label);
+
+}  // namespace streamcast::util

@@ -1,0 +1,79 @@
+// Small integer helpers used throughout the library.
+//
+// Everything here is constexpr and header-only: these functions sit on the
+// hot path of schedule generation (millions of calls in the larger sweeps),
+// so they must inline away.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <numeric>
+
+namespace streamcast::util {
+
+/// Ceiling division for non-negative integers: ceil(a / b).
+constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  assert(b > 0);
+  assert(a >= 0);
+  return (a + b - 1) / b;
+}
+
+/// floor(log2(x)) for x >= 1.
+constexpr int floor_log2(std::uint64_t x) {
+  assert(x >= 1);
+  int lg = 0;
+  while (x >>= 1) ++lg;
+  return lg;
+}
+
+/// ceil(log2(x)) for x >= 1.
+constexpr int ceil_log2(std::uint64_t x) {
+  assert(x >= 1);
+  const int f = floor_log2(x);
+  return (std::uint64_t{1} << f) == x ? f : f + 1;
+}
+
+/// Integer exponentiation base^e (no overflow checking; callers stay within
+/// the simulation scale of ~2^40).
+constexpr std::int64_t ipow(std::int64_t base, int e) {
+  assert(e >= 0);
+  std::int64_t r = 1;
+  while (e-- > 0) r *= base;
+  return r;
+}
+
+/// Smallest h >= 0 with base^h >= x, i.e. ceil(log_base(x)) for x >= 1.
+constexpr int ceil_log(std::int64_t base, std::int64_t x) {
+  assert(base >= 2);
+  assert(x >= 1);
+  int h = 0;
+  std::int64_t p = 1;
+  while (p < x) {
+    p *= base;
+    ++h;
+  }
+  return h;
+}
+
+/// True mathematical modulus: result in [0, m) even for negative a.
+constexpr std::int64_t mod_floor(std::int64_t a, std::int64_t m) {
+  assert(m > 0);
+  const std::int64_t r = a % m;
+  return r < 0 ? r + m : r;
+}
+
+/// Number of nodes of a complete d-ary tree of height h (levels 1..h below
+/// the root, the root itself excluded): d + d^2 + ... + d^h.
+constexpr std::int64_t complete_dary_size(int d, int h) {
+  assert(d >= 2);
+  assert(h >= 0);
+  std::int64_t total = 0;
+  std::int64_t level = 1;
+  for (int i = 1; i <= h; ++i) {
+    level *= d;
+    total += level;
+  }
+  return total;
+}
+
+}  // namespace streamcast::util

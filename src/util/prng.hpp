@@ -1,0 +1,80 @@
+// Deterministic PRNG for workload generation.
+//
+// Experiments must be reproducible bit-for-bit across runs and platforms, so
+// we ship our own xoshiro256** instead of relying on std::mt19937 parameter
+// quirks or (worse) std::random_device. Header-only; trivially copyable so a
+// generator can be forked per experiment cell.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <limits>
+
+namespace streamcast::util {
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded via splitmix64.
+class Prng {
+ public:
+  explicit constexpr Prng(std::uint64_t seed) {
+    // splitmix64 expansion of the seed into the 256-bit state; guarantees a
+    // non-zero state for every seed, which xoshiro requires.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  constexpr std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) via classic modulo rejection (portable —
+  /// no 128-bit arithmetic). The rejection zone is < bound/2^64, so the loop
+  /// essentially never iterates for our workload-sized bounds.
+  constexpr std::uint64_t below(std::uint64_t bound) {
+    assert(bound > 0);
+    const std::uint64_t limit =
+        std::numeric_limits<std::uint64_t>::max() -
+        std::numeric_limits<std::uint64_t>::max() % bound;
+    for (;;) {
+      const std::uint64_t r = next();
+      if (r < limit || limit == 0) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  constexpr std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p.
+  constexpr bool chance(double p) { return uniform() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace streamcast::util

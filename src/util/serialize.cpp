@@ -1,0 +1,78 @@
+#include "src/util/serialize.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace streamcast::util {
+
+namespace {
+
+constexpr const char* kMagic = "streamcast-forest v1";
+
+[[noreturn]] void malformed(const std::string& why) {
+  throw std::runtime_error("malformed forest file: " + why);
+}
+
+}  // namespace
+
+void save_forest(const multitree::Forest& forest, std::ostream& os) {
+  os << kMagic << '\n'
+     << "n " << forest.n() << " d " << forest.d() << '\n';
+  for (int k = 0; k < forest.d(); ++k) {
+    os << "tree " << k << ':';
+    for (multitree::NodeKey pos = 1; pos <= forest.n_pad(); ++pos) {
+      os << ' ' << forest.node_at(k, pos);
+    }
+    os << '\n';
+  }
+}
+
+std::string forest_to_string(const multitree::Forest& forest) {
+  std::ostringstream os;
+  save_forest(forest, os);
+  return os.str();
+}
+
+multitree::Forest load_forest(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line != kMagic) malformed("bad header");
+
+  std::string n_word;
+  std::string d_word;
+  multitree::NodeKey n = 0;
+  int d = 0;
+  if (!(is >> n_word >> n >> d_word >> d) || n_word != "n" || d_word != "d") {
+    malformed("bad dimensions line");
+  }
+  if (n < 1 || d < 1) malformed("non-positive dimensions");
+
+  multitree::Forest forest(n, d);
+  for (int k = 0; k < d; ++k) {
+    std::string tree_word;
+    int index = -1;
+    char colon = 0;
+    if (!(is >> tree_word >> index >> colon) || tree_word != "tree" ||
+        index != k || colon != ':') {
+      malformed("bad tree header for tree " + std::to_string(k));
+    }
+    std::vector<multitree::NodeKey> tree{multitree::kSource};
+    for (multitree::NodeKey pos = 1; pos <= forest.n_pad(); ++pos) {
+      multitree::NodeKey node = 0;
+      if (!(is >> node)) malformed("truncated tree " + std::to_string(k));
+      tree.push_back(node);
+    }
+    try {
+      forest.set_tree(k, std::move(tree));
+    } catch (const std::invalid_argument& e) {
+      malformed(std::string("invalid placement: ") + e.what());
+    }
+  }
+  return forest;
+}
+
+multitree::Forest forest_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return load_forest(is);
+}
+
+}  // namespace streamcast::util

@@ -1,0 +1,29 @@
+// Plain-text (de)serialization of overlay placements, so a planned overlay
+// can be stored, diffed, shipped to nodes, and reloaded byte-identically.
+//
+// Format (line-oriented, ASCII):
+//   streamcast-forest v1
+//   n <N> d <D>
+//   tree 0: <node at pos 1> <node at pos 2> ... <node at pos n_pad>
+//   ...
+//   tree d-1: ...
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/multitree/forest.hpp"
+
+namespace streamcast::util {
+
+/// Writes the forest placement; deterministic output.
+void save_forest(const multitree::Forest& forest, std::ostream& os);
+std::string forest_to_string(const multitree::Forest& forest);
+
+/// Parses a placement previously produced by save_forest. Throws
+/// std::runtime_error on malformed input (bad header, wrong counts, ids out
+/// of range or repeated — Forest::set_tree re-validates the permutation).
+multitree::Forest load_forest(std::istream& is);
+multitree::Forest forest_from_string(const std::string& text);
+
+}  // namespace streamcast::util

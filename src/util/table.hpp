@@ -1,0 +1,44 @@
+// Minimal ASCII table / CSV emitters for the benchmark harness.
+//
+// Every experiment binary prints its results in two forms: an aligned ASCII
+// table (for the console) and, optionally, CSV (for replotting). Keeping the
+// formatting in one place guarantees all benches read alike.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace streamcast::util {
+
+/// Column-aligned text table. Cells are strings; numeric callers format via
+/// the convenience `cell()` overloads so precision is uniform.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with single-space-padded columns and a rule under the header.
+  void print(std::ostream& os) const;
+
+  /// Renders as RFC-4180-ish CSV (no quoting needed: our cells never contain
+  /// commas or newlines, enforced by an assertion).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Uniform numeric cell formatting: integers verbatim, doubles with
+/// `precision` significant decimals, trailing zeros trimmed.
+std::string cell(std::int64_t v);
+std::string cell(std::uint64_t v);
+std::string cell(int v);
+std::string cell(double v, int precision = 3);
+
+}  // namespace streamcast::util

@@ -1,0 +1,70 @@
+#include "src/workload/churn_trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace streamcast::workload {
+
+namespace {
+
+/// Exponential variate with the given mean (inverse CDF; u in (0,1]).
+double exponential(util::Prng& rng, double mean) {
+  const double u = 1.0 - rng.uniform();  // (0, 1]
+  return -mean * std::log(u);
+}
+
+}  // namespace
+
+std::vector<TraceEvent> generate_churn_trace(const TraceConfig& config) {
+  if (config.arrival_rate < 0) throw std::invalid_argument("negative rate");
+  if (config.mean_lifetime <= 0) throw std::invalid_argument("lifetime <= 0");
+  if (config.horizon < 1) throw std::invalid_argument("horizon < 1");
+  if (config.initial_n < 0) throw std::invalid_argument("initial_n < 0");
+
+  util::Prng rng(config.seed);
+  std::vector<TraceEvent> events;
+  std::int64_t next_peer = 0;
+
+  const auto schedule_departure = [&](std::int64_t peer, Slot born) {
+    const Slot death =
+        born + std::max<Slot>(1, static_cast<Slot>(std::llround(
+                                     exponential(rng, config.mean_lifetime))));
+    if (death < config.horizon) {
+      events.push_back(TraceEvent{.slot = death, .arrival = false,
+                                  .peer = peer});
+    }
+  };
+
+  for (NodeKey i = 0; i < config.initial_n; ++i) {
+    schedule_departure(next_peer++, 0);
+  }
+  // Poisson arrivals: exponential inter-arrival times with mean 1/rate.
+  if (config.arrival_rate > 0) {
+    double t = exponential(rng, 1.0 / config.arrival_rate);
+    while (static_cast<Slot>(t) < config.horizon) {
+      const Slot born = static_cast<Slot>(t);
+      const std::int64_t peer = next_peer++;
+      events.push_back(TraceEvent{.slot = born, .arrival = true,
+                                  .peer = peer});
+      schedule_departure(peer, born);
+      t += exponential(rng, 1.0 / config.arrival_rate);
+    }
+  }
+
+  std::ranges::stable_sort(events, [](const TraceEvent& a,
+                                      const TraceEvent& b) {
+    if (a.slot != b.slot) return a.slot < b.slot;
+    return a.arrival && !b.arrival;  // arrivals first within a slot
+  });
+  return events;
+}
+
+NodeKey survivors(const TraceConfig& config,
+                  const std::vector<TraceEvent>& trace) {
+  NodeKey n = config.initial_n;
+  for (const TraceEvent& e : trace) n += e.arrival ? 1 : -1;
+  return n;
+}
+
+}  // namespace streamcast::workload

@@ -1,0 +1,52 @@
+// Synthetic churn workloads: Poisson arrivals with exponentially
+// distributed session lifetimes — the standard model of P2P measurement
+// studies, used to drive the appendix churn experiments with realistic
+// (rather than adversarial) event sequences. Fully deterministic given the
+// seed, per DESIGN.md §5.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/packet.hpp"
+#include "src/util/prng.hpp"
+
+namespace streamcast::workload {
+
+using sim::NodeKey;
+using sim::Slot;
+
+struct TraceConfig {
+  /// Expected arrivals per slot (Poisson).
+  double arrival_rate = 0.05;
+  /// Mean session lifetime in slots (exponential).
+  double mean_lifetime = 400;
+  /// Trace length in slots.
+  Slot horizon = 2000;
+  /// Peers present at slot 0 (they draw lifetimes like everyone else).
+  NodeKey initial_n = 50;
+  std::uint64_t seed = 1;
+};
+
+struct TraceEvent {
+  Slot slot = 0;
+  bool arrival = false;
+  /// Stable peer label: initial peers are 0..initial_n-1; later arrivals
+  /// continue the numbering in arrival order. A departure names the peer
+  /// that leaves.
+  std::int64_t peer = 0;
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+/// Generates the event list sorted by slot (arrivals before departures
+/// within a slot). Every peer departs at most once; departures beyond the
+/// horizon are dropped (the peer simply outlives the trace). Initial peers
+/// produce no arrival events, only (possibly) departures.
+std::vector<TraceEvent> generate_churn_trace(const TraceConfig& config);
+
+/// Peers still present at the end of the trace.
+NodeKey survivors(const TraceConfig& config,
+                  const std::vector<TraceEvent>& trace);
+
+}  // namespace streamcast::workload

@@ -1,0 +1,109 @@
+// Baseline tests: the chain and single-tree strawmen of §1 behave exactly as
+// the paper's closed forms say.
+#include <gtest/gtest.h>
+
+#include "src/baseline/chain.hpp"
+#include "src/baseline/single_tree.hpp"
+#include "src/metrics/buffers.hpp"
+#include "src/metrics/delay.hpp"
+#include "src/metrics/neighbors.hpp"
+#include "src/net/topology.hpp"
+#include "src/sim/engine.hpp"
+
+namespace streamcast::baseline {
+namespace {
+
+using metrics::DelayRecorder;
+
+TEST(Chain, DelaysAreLinearInPosition) {
+  const NodeKey n = 40;
+  net::UniformCluster topo(n, 1);
+  ChainProtocol proto(n);
+  sim::Engine engine(topo, proto);
+  DelayRecorder rec(n + 1, 8);
+  engine.add_observer(rec);
+  engine.run_until(8 + n + 2);
+  for (NodeKey i = 1; i <= n; ++i) {
+    ASSERT_TRUE(rec.complete(i));
+    EXPECT_EQ(*rec.playback_delay(i), chain_delay(i)) << "i=" << i;
+  }
+  EXPECT_EQ(rec.worst_delay(1, n), chain_worst_delay(n));
+  EXPECT_DOUBLE_EQ(rec.average_delay(1, n), chain_average_delay(n));
+}
+
+TEST(Chain, BufferIsConstant) {
+  const NodeKey n = 25;
+  net::UniformCluster topo(n, 1);
+  ChainProtocol proto(n);
+  sim::Engine engine(topo, proto);
+  DelayRecorder rec(n + 1, 10);
+  engine.add_observer(rec);
+  engine.run_until(10 + n + 2);
+  for (const std::size_t b : metrics::max_occupancies(rec, 1, n)) {
+    EXPECT_LE(b, 1u);
+  }
+}
+
+TEST(Chain, TwoNeighborsMax) {
+  const NodeKey n = 12;
+  net::UniformCluster topo(n, 1);
+  ChainProtocol proto(n);
+  sim::Engine engine(topo, proto);
+  metrics::NeighborRecorder rec(n + 1);
+  engine.add_observer(rec);
+  engine.run_until(n + 10);
+  EXPECT_LE(rec.max_count(1, n), 2u);
+}
+
+TEST(SingleTree, DelaysEqualDepthMinusOne) {
+  const NodeKey n = 30;
+  const int d = 2;
+  BoostedCluster topo(n, d);
+  SingleTreeProtocol proto(n, d);
+  sim::Engine engine(topo, proto);
+  DelayRecorder rec(n + 1, 8);
+  engine.add_observer(rec);
+  engine.run_until(8 + single_tree_worst_delay(n, d) + 4);
+  for (NodeKey i = 1; i <= n; ++i) {
+    ASSERT_TRUE(rec.complete(i));
+    EXPECT_EQ(*rec.playback_delay(i), single_tree_depth(i, d) - 1);
+  }
+  EXPECT_EQ(rec.worst_delay(1, n), single_tree_worst_delay(n, d));
+  EXPECT_DOUBLE_EQ(rec.average_delay(1, n), single_tree_average_delay(n, d));
+}
+
+TEST(SingleTree, RequiresBoostedUplink) {
+  // On the paper's homogeneous topology (receiver capacity 1), a binary
+  // interior node's two sends per slot violate capacity — which is exactly
+  // the §1 argument against the single-tree design.
+  const NodeKey n = 7;
+  net::UniformCluster topo(n, 2);
+  SingleTreeProtocol proto(n, 2);
+  sim::Engine engine(topo, proto);
+  EXPECT_THROW(engine.run_until(4), sim::ProtocolViolation);
+}
+
+TEST(SingleTree, LeafFractionApproachesOneMinusOneOverD) {
+  EXPECT_NEAR(single_tree_leaf_fraction(1023, 2), 0.5, 0.01);
+  EXPECT_NEAR(single_tree_leaf_fraction(1092, 3), 2.0 / 3.0, 0.01);
+  EXPECT_GT(single_tree_leaf_fraction(100, 4), 0.70);
+}
+
+TEST(SingleTree, DepthHelpers) {
+  EXPECT_EQ(single_tree_depth(1, 2), 1);
+  EXPECT_EQ(single_tree_depth(2, 2), 1);
+  EXPECT_EQ(single_tree_depth(3, 2), 2);
+  EXPECT_EQ(single_tree_depth(7, 2), 3);
+  EXPECT_EQ(single_tree_depth(3, 3), 1);
+  EXPECT_EQ(single_tree_depth(4, 3), 2);
+}
+
+TEST(Baselines, RejectBadArguments) {
+  EXPECT_THROW(ChainProtocol(0), std::invalid_argument);
+  EXPECT_THROW(SingleTreeProtocol(0, 2), std::invalid_argument);
+  EXPECT_THROW(SingleTreeProtocol(5, 0), std::invalid_argument);
+  EXPECT_THROW(BoostedCluster(0, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace streamcast::baseline

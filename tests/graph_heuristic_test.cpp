@@ -1,0 +1,114 @@
+// Heuristic IDT tests: soundness (every witness verifies), agreement with
+// the exact solver on structured families, and measured completeness on
+// random graphs.
+#include <gtest/gtest.h>
+
+#include "src/graph/idt_heuristic.hpp"
+#include "src/graph/idt_solver.hpp"
+#include "src/util/prng.hpp"
+
+namespace streamcast::graph {
+namespace {
+
+Graph complete(Vertex n) {
+  Graph g(n);
+  for (Vertex a = 0; a < n; ++a) {
+    for (Vertex b = a + 1; b < n; ++b) g.add_edge(a, b);
+  }
+  return g;
+}
+
+Graph random_graph(Vertex n, double p, util::Prng& rng) {
+  Graph g(n);
+  for (Vertex a = 0; a < n; ++a) {
+    for (Vertex b = a + 1; b < n; ++b) {
+      if (rng.chance(p)) g.add_edge(a, b);
+    }
+  }
+  // Ensure connectivity from the root so instances are meaningful.
+  for (Vertex v = 1; v < n; ++v) {
+    if (g.neighbors(v).empty()) g.add_edge(0, v);
+  }
+  return g;
+}
+
+TEST(GreedyCds, FindsMinimalSetsOnSimpleFamilies) {
+  // Complete graph: the empty set dominates.
+  const auto cds = greedy_cds(complete(8), 0, ~std::uint64_t{0});
+  ASSERT_TRUE(cds.has_value());
+  EXPECT_EQ(*cds, 0u);
+  // Path 0-1-2-3-4: pruned CDS from root 0 must keep 1,2,3.
+  Graph path(5);
+  for (Vertex v = 0; v + 1 < 5; ++v) path.add_edge(v, v + 1);
+  const auto p = greedy_cds(path, 0, ~std::uint64_t{0});
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(is_connected_dominating(path, 0, *p));
+  EXPECT_EQ(*p, 0b01110u);
+}
+
+TEST(GreedyCds, RespectsAllowedMask) {
+  // Path 0-1-2: excluding vertex 1 makes domination of 2 impossible.
+  Graph path(3);
+  path.add_edge(0, 1);
+  path.add_edge(1, 2);
+  EXPECT_FALSE(greedy_cds(path, 0, 0b100).has_value());
+}
+
+TEST(GreedyTwoIdt, SoundOnEverything) {
+  util::Prng rng(11);
+  for (int trial = 0; trial < 120; ++trial) {
+    const auto n = static_cast<Vertex>(5 + rng.below(9));
+    const double p = 0.15 + 0.7 * rng.uniform();
+    const Graph g = random_graph(n, p, rng);
+    const auto witness = greedy_two_idt(g, 0);
+    if (witness) {
+      EXPECT_TRUE(
+          is_interior_disjoint_pair(g, 0, witness->tree_a, witness->tree_b))
+          << "trial " << trial;
+    }
+  }
+}
+
+TEST(GreedyTwoIdt, NoFalsePositivesAndDecentCompleteness) {
+  // Against the exact solver on small random graphs: the heuristic must
+  // never claim a solution where none exists, and should find most that do.
+  util::Prng rng(21);
+  int solvable = 0;
+  int found = 0;
+  for (int trial = 0; trial < 150; ++trial) {
+    const auto n = static_cast<Vertex>(5 + rng.below(7));  // 5..11
+    const double p = 0.2 + 0.6 * rng.uniform();
+    const Graph g = random_graph(n, p, rng);
+    const bool exact = two_interior_disjoint_trees(g, 0).has_value();
+    const bool heuristic = greedy_two_idt(g, 0).has_value();
+    if (heuristic) {
+      EXPECT_TRUE(exact) << "false positive, trial " << trial;
+    }
+    solvable += exact;
+    found += heuristic && exact;
+  }
+  ASSERT_GT(solvable, 30);
+  // Completeness on this family: at least 70% of solvable instances found.
+  EXPECT_GE(10 * found, 7 * solvable)
+      << found << "/" << solvable << " solvable instances found";
+}
+
+TEST(GreedyTwoIdt, WorksBeyondTheExactSolverLimit) {
+  // 48-vertex dense random graph: exact is infeasible (2^47), greedy is
+  // instant and must produce a verified pair.
+  util::Prng rng(31);
+  const Graph g = random_graph(48, 0.3, rng);
+  const auto witness = greedy_two_idt(g, 0);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_TRUE(
+      is_interior_disjoint_pair(g, 0, witness->tree_a, witness->tree_b));
+}
+
+TEST(GreedyTwoIdt, FailsHonestlyOnPaths) {
+  Graph path(6);
+  for (Vertex v = 0; v + 1 < 6; ++v) path.add_edge(v, v + 1);
+  EXPECT_FALSE(greedy_two_idt(path, 0).has_value());
+}
+
+}  // namespace
+}  // namespace streamcast::graph

@@ -1,0 +1,253 @@
+// Graph/NP-completeness tests: the CDS characterization, the exact two
+// interior-disjoint tree solver, the E4 Set Splitting brute force, and the
+// paper's reduction (equivalence checked on random instances).
+#include <gtest/gtest.h>
+
+#include "src/graph/graph.hpp"
+#include "src/graph/idt_solver.hpp"
+#include "src/graph/reduction.hpp"
+#include "src/graph/set_splitting.hpp"
+#include "src/util/prng.hpp"
+
+namespace streamcast::graph {
+namespace {
+
+Graph path(Vertex n) {
+  Graph g(n);
+  for (Vertex v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+  return g;
+}
+
+Graph complete(Vertex n) {
+  Graph g(n);
+  for (Vertex a = 0; a < n; ++a) {
+    for (Vertex b = a + 1; b < n; ++b) g.add_edge(a, b);
+  }
+  return g;
+}
+
+Graph star(Vertex n) {
+  Graph g(n);
+  for (Vertex v = 1; v < n; ++v) g.add_edge(0, v);
+  return g;
+}
+
+Graph cycle(Vertex n) {
+  Graph g = path(n);
+  g.add_edge(n - 1, 0);
+  return g;
+}
+
+TEST(GraphBasics, EdgesAndNeighbors) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);  // dedup
+  g.add_edge(1, 2);
+  EXPECT_EQ(g.edges(), 2u);
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_EQ(g.neighbors(1).size(), 2u);
+}
+
+TEST(ConnectedDominating, PathCases) {
+  const Graph g = path(5);  // 0-1-2-3-4
+  // {1,2,3} ∪ {0}: connected (0-1-2-3) and dominates 4 via 3.
+  EXPECT_TRUE(is_connected_dominating(g, 0, 0b01110));
+  // {1,3}: 3 is disconnected from the root component {0,1}.
+  EXPECT_FALSE(is_connected_dominating(g, 0, 0b01010));
+  // {1,2}: vertex 4 undominated.
+  EXPECT_FALSE(is_connected_dominating(g, 0, 0b00110));
+  // Empty set: root alone dominates only 1.
+  EXPECT_FALSE(is_connected_dominating(g, 0, 0));
+}
+
+TEST(ConnectedDominating, CompleteGraphEmptySetSuffices) {
+  EXPECT_TRUE(is_connected_dominating(complete(6), 0, 0));
+}
+
+TEST(TreeFromInterior, BuildsValidSpanningTree) {
+  const Graph g = path(5);
+  const auto parent = tree_from_interior(g, 0, 0b01110);
+  EXPECT_TRUE(is_spanning_tree(g, 0, parent));
+  // Interior = nodes with children ⊆ {0,1,2,3}.
+  EXPECT_EQ(interior_mask(parent, 0) & ~0b01110ull, 0u);
+}
+
+TEST(IsSpanningTree, RejectsForests) {
+  const Graph g = path(4);
+  std::vector<Vertex> bad{-1, 0, 3, 2};  // 2 and 3 point at each other
+  EXPECT_FALSE(is_spanning_tree(g, 0, bad));
+}
+
+TEST(IdtSolver, CompleteGraphHasTwoTrees) {
+  const auto witness = two_interior_disjoint_trees(complete(6), 0);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_TRUE(is_interior_disjoint_pair(complete(6), 0, witness->tree_a,
+                                        witness->tree_b));
+}
+
+TEST(IdtSolver, PathHasNone) {
+  // Any spanning tree of a path is the path itself: interiors necessarily
+  // overlap.
+  EXPECT_FALSE(two_interior_disjoint_trees(path(5), 0).has_value());
+}
+
+TEST(IdtSolver, StarHasTwoTrivially) {
+  // Both trees are the star itself: only the root is interior.
+  const Graph g = star(6);
+  const auto witness = two_interior_disjoint_trees(g, 0);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_EQ(interior_mask(witness->tree_a, 0), 0u);
+  EXPECT_EQ(interior_mask(witness->tree_b, 0), 0u);
+}
+
+TEST(IdtSolver, CycleNeedsBothDirections) {
+  // On a cycle, the two trees are the two arcs from the root; for n >= 5
+  // their interiors overlap — no solution. n = 4: arcs {1}, {3} work
+  // (2 is dominated by both 1 and 3).
+  EXPECT_TRUE(two_interior_disjoint_trees(cycle(4), 0).has_value());
+  EXPECT_FALSE(two_interior_disjoint_trees(cycle(6), 0).has_value());
+}
+
+TEST(SetSplitting, ValidAndInvalidWitness) {
+  SetSplittingInstance inst{.elements = 5, .sets = {{0, 1, 2, 3}}};
+  EXPECT_TRUE(is_valid_splitting(inst, 0b00001));   // {0} vs {1,2,3,4}
+  EXPECT_FALSE(is_valid_splitting(inst, 0b01111));  // R_0 fully in V1
+}
+
+TEST(SetSplitting, SolvableInstance) {
+  SetSplittingInstance inst{.elements = 4, .sets = {{0, 1, 2, 3}}};
+  const auto v1 = solve_set_splitting(inst);
+  ASSERT_TRUE(v1.has_value());
+  EXPECT_TRUE(is_valid_splitting(inst, *v1));
+}
+
+TEST(SetSplitting, UnsplittableViaPigeonhole) {
+  // All C(4,4)=1 subsets over exactly 4 elements with every 4-subset...
+  // take 5 elements and all five 4-element subsets: any split with a side
+  // of size <= 1 leaves the complementary 4-set unsplit; size-2 sides work?
+  // {a,b} vs 3: the 4-set avoiding a... every 4-set contains at least one
+  // of any 2 elements (complement has size 1). So it IS splittable; build a
+  // genuinely unsplittable instance instead: duplicate elements are not
+  // allowed, so force monochromatic pressure by chaining 4-sets over 4
+  // elements only — a single set {0,1,2,3} is splittable; instead verify
+  // the solver's "no witness" path with an instance made unsplittable by
+  // exhausting both polarities of a pair via shared triples.
+  SetSplittingInstance inst{.elements = 6,
+                            .sets = {
+                                {0, 1, 2, 3},
+                                {0, 1, 2, 4},
+                                {0, 1, 2, 5},
+                                {0, 3, 4, 5},
+                                {1, 3, 4, 5},
+                                {2, 3, 4, 5},
+                                {0, 1, 4, 5},
+                                {0, 2, 4, 5},
+                                {1, 2, 3, 4},
+                                {1, 2, 3, 5},
+                                {0, 1, 3, 4},
+                                {0, 2, 3, 5},
+                            }};
+  const auto v1 = solve_set_splitting(inst);
+  if (v1) {
+    EXPECT_TRUE(is_valid_splitting(inst, *v1));
+  }
+  // Either way, the solver's answer must agree with exhaustive checking.
+  bool any = false;
+  for (std::uint64_t mask = 0; mask < (1u << 6); ++mask) {
+    if (is_valid_splitting(inst, mask)) any = true;
+  }
+  EXPECT_EQ(v1.has_value(), any);
+}
+
+TEST(Reduction, BuildsBipartiteShape) {
+  SetSplittingInstance inst{.elements = 5, .sets = {{0, 1, 2, 3},
+                                                    {1, 2, 3, 4}}};
+  const ReducedInstance red = reduce_to_idt(inst);
+  EXPECT_EQ(red.graph.size(), 1 + 5 + 2);
+  // Root adjacent to all elements, not to set vertices.
+  for (int e = 0; e < 5; ++e) {
+    EXPECT_TRUE(red.graph.has_edge(red.root, red.element_vertex(e)));
+  }
+  EXPECT_FALSE(red.graph.has_edge(red.root, red.set_vertex(0)));
+  // x_0 adjacent to exactly its four elements.
+  EXPECT_EQ(red.graph.neighbors(red.set_vertex(0)).size(), 4u);
+  EXPECT_TRUE(red.graph.has_edge(red.set_vertex(1), red.element_vertex(4)));
+}
+
+TEST(Reduction, SplittingWitnessYieldsDisjointTrees) {
+  SetSplittingInstance inst{.elements = 6, .sets = {{0, 1, 2, 3},
+                                                    {2, 3, 4, 5},
+                                                    {0, 2, 4, 5}}};
+  const auto v1 = solve_set_splitting(inst);
+  ASSERT_TRUE(v1.has_value());
+  const ReducedInstance red = reduce_to_idt(inst);
+  const std::uint64_t a = interior_mask_from_splitting(red, *v1);
+  const std::uint64_t full =
+      ((std::uint64_t{1} << (red.elements + 1)) - 2);  // all element bits
+  const std::uint64_t b = full & ~a;
+  EXPECT_TRUE(is_connected_dominating(red.graph, red.root, a));
+  EXPECT_TRUE(is_connected_dominating(red.graph, red.root, b));
+  const auto ta = tree_from_interior(red.graph, red.root, a);
+  const auto tb = tree_from_interior(red.graph, red.root, b);
+  EXPECT_TRUE(is_interior_disjoint_pair(red.graph, red.root, ta, tb));
+}
+
+TEST(Reduction, EquivalenceOnRandomInstances) {
+  // The heart of the NP-completeness experiment: splittable iff the reduced
+  // graph has two interior-disjoint trees. Three independent computations
+  // must agree: the set-splitting brute force, the generic IDT solver
+  // (2^(V-1) over the reduced graph), and the structure-aware decision.
+  // Note every E4 instance on <= 7 elements is splittable (a 4-set cannot
+  // fit inside a <= 3-element side), so random small instances exercise the
+  // positive direction; the negative direction is the complete C(7,4)
+  // instance below.
+  util::Prng rng(424242);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int elements = 4 + static_cast<int>(rng.below(3));  // 4..6
+    const int sets = 2 + static_cast<int>(rng.below(7));      // 2..8
+    const auto inst = random_instance(elements, sets, rng);
+    const bool split = solve_set_splitting(inst).has_value();
+    const ReducedInstance red = reduce_to_idt(inst);
+    const bool idt =
+        two_interior_disjoint_trees(red.graph, red.root).has_value();
+    EXPECT_EQ(split, idt) << "trial " << trial;
+    EXPECT_EQ(split, reduced_has_two_idt(red)) << "trial " << trial;
+    EXPECT_TRUE(split);  // <= 7 elements: always splittable
+  }
+}
+
+TEST(Reduction, UnsplittableCompleteSevenInstance) {
+  // All C(7,4) = 35 four-element subsets of 7 elements: every 2-coloring
+  // has a side of size >= 4, whose 4-subsets are all in the instance —
+  // unsplittable. The reduced graph (43 vertices) must have no two
+  // interior-disjoint trees; decided with the structure-aware solver.
+  SetSplittingInstance inst;
+  inst.elements = 7;
+  for (int a = 0; a < 7; ++a) {
+    for (int b = a + 1; b < 7; ++b) {
+      for (int c = b + 1; c < 7; ++c) {
+        for (int e = c + 1; e < 7; ++e) {
+          inst.sets.push_back({a, b, c, e});
+        }
+      }
+    }
+  }
+  ASSERT_EQ(inst.sets.size(), 35u);
+  EXPECT_FALSE(solve_set_splitting(inst).has_value());
+  const ReducedInstance red = reduce_to_idt(inst);
+  EXPECT_EQ(red.graph.size(), 43);
+  EXPECT_FALSE(reduced_has_two_idt(red));
+}
+
+TEST(Solver, SizeLimits) {
+  EXPECT_THROW(two_interior_disjoint_trees(complete(25), 0),
+               std::invalid_argument);
+  SetSplittingInstance inst{.elements = 30, .sets = {}};
+  EXPECT_THROW(solve_set_splitting(inst), std::invalid_argument);
+  EXPECT_THROW(Graph(0), std::invalid_argument);
+  EXPECT_THROW(Graph(64), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace streamcast::graph

@@ -1,0 +1,110 @@
+// Hypercube dynamics tests (the paper's §4 future work, built): prefix
+// stability, the power-of-two reseating cliff, and membership invariants.
+#include <gtest/gtest.h>
+
+#include "src/hypercube/dynamics.hpp"
+#include "src/util/prng.hpp"
+
+namespace streamcast::hypercube {
+namespace {
+
+TEST(HypercubeDynamics, PrefixStableAwayFromPowers) {
+  // 20 -> 21: leading 15-cube unchanged; only tail cubes reshuffle.
+  const NodeKey changed = roles_changed(20, 21);
+  EXPECT_LE(changed, 5);  // tail is 3+1+1 nodes
+  // Ranks 1..15 (the k=4 cube) must be untouched.
+  const auto before = decompose_chain(20);
+  const auto after = decompose_chain(21);
+  for (NodeKey rank = 1; rank <= 15; ++rank) {
+    EXPECT_EQ(HypercubeMembership::role_of(before, rank),
+              HypercubeMembership::role_of(after, rank));
+  }
+}
+
+TEST(HypercubeDynamics, PowerOfTwoCliffReseatsEveryone) {
+  // 30 -> 31: k1 jumps from 4 to 5; every one of the 30 shared ranks gets a
+  // new (cube, vertex) role.
+  EXPECT_EQ(roles_changed(30, 31), 30);
+  // And back down across the cliff: 31 -> 30.
+  EXPECT_EQ(roles_changed(31, 30), 30);
+}
+
+TEST(HypercubeDynamics, DisruptionIsTailSizedOnAverage) {
+  // Average disruption of +1 events across a window between powers of two
+  // stays far below N.
+  std::int64_t total = 0;
+  int events = 0;
+  for (NodeKey n = 33; n < 63; ++n) {
+    total += roles_changed(n, n + 1);
+    ++events;
+  }
+  EXPECT_LT(total / events, 16);  // tail-sized, not N-sized
+}
+
+TEST(HypercubeDynamics, MembershipAddRemoveRoundTrip) {
+  HypercubeMembership m(20);
+  EXPECT_EQ(m.n(), 20);
+  const PeerId p = m.add();
+  EXPECT_EQ(m.n(), 21);
+  EXPECT_EQ(m.rank_of(p), 21);
+  m.remove(p);
+  EXPECT_EQ(m.n(), 20);
+  EXPECT_EQ(m.rank_of(p), -1);
+  EXPECT_EQ(m.stats().operations, 2);
+  EXPECT_EQ(m.stats().rank_moves, 0);  // removed the last rank
+}
+
+TEST(HypercubeDynamics, InteriorRemovalRelabelsLastPeer) {
+  HypercubeMembership m(10);
+  const PeerId victim = m.peer_at(3);
+  const PeerId last = m.peer_at(10);
+  m.remove(victim);
+  EXPECT_EQ(m.peer_at(3), last);
+  EXPECT_EQ(m.stats().rank_moves, 1);
+}
+
+TEST(HypercubeDynamics, FullReseatsCountedAtCliffs) {
+  HypercubeMembership m(31);
+  m.add();  // 31 -> 32: k1 4->... 31 is 2^5-1: adding crosses to k1=5
+  EXPECT_EQ(m.stats().full_reseats, 0);  // 31->32 keeps k1 = floor(log2(33)) = 5
+  HypercubeMembership cliff(30);
+  cliff.add();  // 30 -> 31: k1 jumps 4 -> 5
+  EXPECT_EQ(cliff.stats().full_reseats, 1);
+  EXPECT_EQ(cliff.stats().role_moves, 30);
+}
+
+TEST(HypercubeDynamics, RandomSoakConservesMembership) {
+  util::Prng rng(404);
+  HypercubeMembership m(25);
+  std::vector<PeerId> alive;
+  for (NodeKey r = 1; r <= 25; ++r) alive.push_back(m.peer_at(r));
+  for (int op = 0; op < 200; ++op) {
+    if (m.n() > 2 && rng.chance(0.5)) {
+      const auto idx = static_cast<std::size_t>(rng.below(alive.size()));
+      m.remove(alive[idx]);
+    } else {
+      alive.push_back(m.add());
+    }
+    alive.clear();
+    for (NodeKey r = 1; r <= m.n(); ++r) {
+      const PeerId p = m.peer_at(r);
+      ASSERT_NE(p, kNoPeer);
+      alive.push_back(p);
+    }
+    // Chain covers exactly n ranks.
+    NodeKey covered = 0;
+    for (const auto& seg : m.chain()) covered += seg.receivers();
+    ASSERT_EQ(covered, m.n());
+  }
+  EXPECT_GT(m.stats().role_moves, 0);
+}
+
+TEST(HypercubeDynamics, RemoveErrors) {
+  HypercubeMembership m(2);
+  EXPECT_THROW(m.remove(999), std::invalid_argument);
+  m.remove(m.peer_at(2));
+  EXPECT_THROW(m.remove(m.peer_at(1)), std::logic_error);
+}
+
+}  // namespace
+}  // namespace streamcast::hypercube

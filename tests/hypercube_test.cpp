@@ -1,0 +1,340 @@
+// Hypercube scheme tests: pairing arithmetic, the Figure 5 doubling
+// invariant, Propositions 1-2, Theorem 4, and full-engine simulations over a
+// sweep of N (special and arbitrary) and the d-group variant.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/hypercube/analysis.hpp"
+#include "src/hypercube/arbitrary.hpp"
+#include "src/hypercube/cube.hpp"
+#include "src/hypercube/grouped.hpp"
+#include "src/hypercube/protocol.hpp"
+#include "src/hypercube/special.hpp"
+#include "src/metrics/buffers.hpp"
+#include "src/metrics/delay.hpp"
+#include "src/metrics/neighbors.hpp"
+#include "src/net/topology.hpp"
+#include "src/sim/engine.hpp"
+
+namespace streamcast::hypercube {
+namespace {
+
+using metrics::DelayRecorder;
+
+TEST(CubeArithmetic, PartnersAndDimensions) {
+  EXPECT_EQ(dimension_of(0, 3), 0);
+  EXPECT_EQ(dimension_of(4, 3), 1);
+  EXPECT_EQ(dimension_of(5, 3), 2);
+  EXPECT_EQ(partner(0b000, 0), 0b001u);
+  EXPECT_EQ(partner(0b101, 1), 0b111u);
+  EXPECT_EQ(partner(0b101, 2), 0b001u);
+}
+
+TEST(CubeArithmetic, PaperFigure7Pairing) {
+  // k = 3: along dimension 0 we pair ids {0,2,4,6} with {1,3,5,7}.
+  const auto dim0 = pairs_along(3, 0);
+  EXPECT_EQ(dim0, (std::vector<std::pair<Vertex, Vertex>>{
+                      {0, 1}, {2, 3}, {4, 5}, {6, 7}}));
+  const auto dim1 = pairs_along(3, 1);
+  EXPECT_EQ(dim1, (std::vector<std::pair<Vertex, Vertex>>{
+                      {0, 2}, {1, 3}, {4, 6}, {5, 7}}));
+  const auto dim2 = pairs_along(3, 2);
+  EXPECT_EQ(dim2, (std::vector<std::pair<Vertex, Vertex>>{
+                      {0, 4}, {1, 5}, {2, 6}, {3, 7}}));
+}
+
+TEST(CubeArithmetic, SpecialNDetection) {
+  EXPECT_TRUE(is_special_n(1));
+  EXPECT_TRUE(is_special_n(3));
+  EXPECT_TRUE(is_special_n(7));
+  EXPECT_TRUE(is_special_n(1023));
+  EXPECT_FALSE(is_special_n(2));
+  EXPECT_FALSE(is_special_n(8));
+  EXPECT_FALSE(is_special_n(6));
+}
+
+TEST(Decomposition, SpecialNIsOneSegment) {
+  const auto chain = decompose_chain(7);
+  ASSERT_EQ(chain.size(), 1u);
+  EXPECT_EQ(chain[0].k, 3);
+  EXPECT_EQ(chain[0].start, 0);
+  EXPECT_EQ(chain[0].first, 1);
+}
+
+TEST(Decomposition, GreedyHalving) {
+  // N = 20: 15 (k=4) + 3 (k=2) + 1 (k=1) + 1 (k=1).
+  const auto chain = decompose_chain(20);
+  ASSERT_EQ(chain.size(), 4u);
+  EXPECT_EQ(chain[0].k, 4);
+  EXPECT_EQ(chain[1].k, 2);
+  EXPECT_EQ(chain[2].k, 1);
+  EXPECT_EQ(chain[3].k, 1);
+  // Starts accumulate the upstream dimensions.
+  EXPECT_EQ(chain[0].start, 0);
+  EXPECT_EQ(chain[1].start, 4);
+  EXPECT_EQ(chain[2].start, 6);
+  EXPECT_EQ(chain[3].start, 7);
+  // Keys are consecutive.
+  EXPECT_EQ(chain[0].first, 1);
+  EXPECT_EQ(chain[1].first, 16);
+  EXPECT_EQ(chain[2].first, 19);
+  EXPECT_EQ(chain[3].first, 20);
+}
+
+TEST(Decomposition, CoversAllNodesExactlyOnce) {
+  for (NodeKey n = 1; n <= 600; ++n) {
+    const auto chain = decompose_chain(n);
+    NodeKey covered = 0;
+    NodeKey expect_first = 1;
+    for (const auto& seg : chain) {
+      EXPECT_EQ(seg.first, expect_first);
+      covered += seg.receivers();
+      expect_first += seg.receivers();
+    }
+    EXPECT_EQ(covered, n) << "n=" << n;
+  }
+}
+
+TEST(Decomposition, GroupedEvenSplit) {
+  const auto groups = decompose_grouped(10, 3);
+  ASSERT_EQ(groups.size(), 3u);
+  NodeKey total = 0;
+  for (const auto& g : groups) {
+    NodeKey size = 0;
+    for (const auto& seg : g.chain) size += seg.receivers();
+    EXPECT_GE(size, 3);
+    EXPECT_LE(size, 4);
+    total += size;
+  }
+  EXPECT_EQ(total, 10);
+}
+
+TEST(Decomposition, GroupedMoreGroupsThanNodes) {
+  const auto groups = decompose_grouped(2, 5);
+  EXPECT_EQ(groups.size(), 2u);
+}
+
+TEST(ExpectedHolders, MatchesFigureFivePattern) {
+  // k = 3 at the end of slot 3: packet 3 held by 1, packet 2 by 2, packet 1
+  // by 4, packet 0 by all 7 (then consumed).
+  EXPECT_EQ(expected_holders(3, 3, 3), 1);
+  EXPECT_EQ(expected_holders(3, 2, 3), 2);
+  EXPECT_EQ(expected_holders(3, 1, 3), 4);
+  EXPECT_EQ(expected_holders(3, 0, 3), 7);
+  EXPECT_EQ(expected_holders(3, 5, 3), 0);  // not yet injected
+}
+
+// ---------------------------------------------------------------------------
+// Engine simulations.
+// ---------------------------------------------------------------------------
+
+struct SimResult {
+  DelayRecorder delays;
+  metrics::NeighborRecorder neighbors;
+  std::size_t max_buffered;
+};
+
+SimResult simulate(NodeKey n, int groups, sim::PacketId window) {
+  net::UniformCluster topo(n, std::max(groups, 1));
+  std::vector<std::vector<Segment>> chains;
+  if (groups <= 1) {
+    chains.push_back(decompose_chain(n));
+  } else {
+    for (auto& g : decompose_grouped(n, groups)) {
+      chains.push_back(std::move(g.chain));
+    }
+  }
+  HypercubeProtocol proto(std::move(chains));
+  sim::Engine engine(topo, proto);
+  SimResult result{DelayRecorder(n + 1, window),
+                   metrics::NeighborRecorder(n + 1), 0};
+  engine.add_observer(result.delays);
+  engine.add_observer(result.neighbors);
+  const Slot horizon =
+      window + (groups <= 1 ? worst_delay(n) : worst_delay_grouped(n, groups)) +
+      4;
+  engine.run_until(horizon);
+  result.max_buffered = proto.max_buffered();
+  return result;
+}
+
+TEST(SpecialCube, DoublingInvariantHoldsExactly) {
+  for (const int k : {1, 2, 3, 4, 5, 6}) {
+    const NodeKey n = cube_receivers(k);
+    const sim::PacketId window = 4 * k + 8;
+    const auto res = simulate(n, 1, window);
+    for (sim::PacketId m = 0; m < window / 2; ++m) {
+      for (Slot t = m; t <= m + k; ++t) {
+        std::int64_t holders = 0;
+        for (NodeKey x = 1; x <= n; ++x) {
+          const Slot a = res.delays.arrival(x, m);
+          if (a != metrics::kNeverArrived && a <= t) ++holders;
+        }
+        EXPECT_EQ(holders, expected_holders(k, m, t))
+            << "k=" << k << " m=" << m << " t=" << t;
+      }
+    }
+  }
+}
+
+TEST(SpecialCube, PropositionOneDelayBufferNeighbors) {
+  for (const int k : {1, 2, 3, 4, 5, 6, 7, 8}) {
+    const NodeKey n = cube_receivers(k);
+    const auto res = simulate(n, 1, 4 * k + 8);
+    for (NodeKey x = 1; x <= n; ++x) {
+      ASSERT_TRUE(res.delays.complete(x)) << "k=" << k << " x=" << x;
+    }
+    // Every node can start playback by slot k; the worst member needs
+    // exactly k (for k = 1 the single node streams directly: delay 0).
+    EXPECT_EQ(res.delays.worst_delay(1, n), measured_worst_delay(n));
+    EXPECT_LE(res.delays.worst_delay(1, n), special_playback_delay(k));
+    // O(1) buffers: at most 2 packets stored (Proposition 1).
+    EXPECT_LE(res.max_buffered, 2u) << "k=" << k;
+    // Each node talks to exactly its k cube neighbors.
+    EXPECT_EQ(res.neighbors.max_count(1, n),
+              static_cast<std::size_t>(special_neighbor_count(k)));
+  }
+}
+
+TEST(ArbitraryN, DelaysMatchSegmentFormula) {
+  for (const NodeKey n : {2, 4, 5, 6, 9, 10, 20, 33, 57, 100, 200}) {
+    const auto chain = decompose_chain(n);
+    const auto res = simulate(n, 1, 3 * worst_delay(n) + 12);
+    for (const Segment& seg : chain) {
+      Slot worst_in_seg = 0;
+      for (NodeKey x = seg.first; x < seg.first + seg.receivers(); ++x) {
+        ASSERT_TRUE(res.delays.complete(x)) << "n=" << n << " x=" << x;
+        // No member needs to start later than the synchronized schedule.
+        EXPECT_LE(*res.delays.playback_delay(x), seg.playback_delay())
+            << "n=" << n << " x=" << x;
+        worst_in_seg = std::max(worst_in_seg, *res.delays.playback_delay(x));
+      }
+      // And the worst member needs exactly worst_member_delay().
+      EXPECT_EQ(worst_in_seg, seg.worst_member_delay()) << "n=" << n;
+    }
+    EXPECT_EQ(res.delays.worst_delay(1, n), measured_worst_delay(n));
+  }
+}
+
+TEST(ArbitraryN, PropositionTwoBounds) {
+  for (const NodeKey n : {2, 6, 10, 20, 45, 100, 300, 500}) {
+    const auto res = simulate(n, 1, 2 * worst_delay(n) + 12);
+    // O(1) buffers.
+    EXPECT_LE(res.max_buffered, 2u) << "n=" << n;
+    // Neighbor count within the closed-form O(log N) bound.
+    EXPECT_LE(res.neighbors.max_count(1, n),
+              static_cast<std::size_t>(neighbor_bound(n)))
+        << "n=" << n;
+    // Worst delay O(log^2 N): start_last + k_last <= (log2(N)+1)^2.
+    const double lg = std::log2(static_cast<double>(n)) + 1;
+    EXPECT_LE(static_cast<double>(res.delays.worst_delay(1, n)), lg * lg)
+        << "n=" << n;
+  }
+}
+
+TEST(ArbitraryN, TheoremFourAverageDelay) {
+  for (NodeKey n = 2; n <= 2048; n = n * 2 + 1) {
+    EXPECT_LE(average_delay(n), theorem4_bound(n)) << "n=" << n;
+  }
+  // Dense sweep of the closed form (no simulation needed: the simulation
+  // matches the formula per DelaysMatchSegmentFormula).
+  for (NodeKey n = 2; n <= 5000; ++n) {
+    EXPECT_LE(average_delay(n), theorem4_bound(n)) << "n=" << n;
+  }
+}
+
+TEST(ArbitraryN, MeasuredAverageAtMostClosedForm) {
+  // The closed form averages the *synchronized* per-segment starts
+  // (Theorem 4's quantity); individually-feasible starts can only be
+  // earlier, and by at most one slot per node.
+  for (const NodeKey n : {5, 12, 37, 90}) {
+    const auto res = simulate(n, 1, 3 * worst_delay(n) + 12);
+    const double measured = res.delays.average_delay(1, n);
+    EXPECT_LE(measured, average_delay(n)) << "n=" << n;
+    EXPECT_GE(measured, average_delay(n) - 1.0) << "n=" << n;
+  }
+}
+
+TEST(Grouped, BoundsScaleWithNOverD) {
+  for (const NodeKey n : {10, 30, 100, 250}) {
+    for (const int d : {2, 3, 4}) {
+      const auto res = simulate(n, d, 3 * worst_delay_grouped(n, d) + 12);
+      EXPECT_EQ(res.delays.worst_delay(1, n),
+                measured_worst_delay_grouped(n, d))
+          << "n=" << n << " d=" << d;
+      EXPECT_LE(res.delays.worst_delay(1, n), worst_delay_grouped(n, d));
+      EXPECT_LE(res.max_buffered, 2u);
+      // Grouped delay is never worse than the single chain's.
+      EXPECT_LE(worst_delay_grouped(n, d), worst_delay(n));
+    }
+  }
+}
+
+TEST(Grouped, AverageDelayFormula) {
+  for (const NodeKey n : {10, 64, 100}) {
+    for (const int d : {2, 3}) {
+      const auto res = simulate(n, d, 3 * worst_delay_grouped(n, d) + 12);
+      const double measured = res.delays.average_delay(1, n);
+      EXPECT_LE(measured, average_delay_grouped(n, d));
+      EXPECT_GE(measured, average_delay_grouped(n, d) - 1.0);
+    }
+  }
+}
+
+TEST(Protocol, FailedNodesShadowTheirRegion) {
+  // A crashed vertex neither sends nor receives: live nodes lose some
+  // packets (the region the crash would have relayed), and the crashed
+  // node receives nothing at all.
+  const NodeKey n = 15;  // k = 4
+  net::UniformCluster topo(n, 1);
+  HypercubeProtocol proto({decompose_chain(n)});
+  proto.fail_node(3);
+  sim::Engine engine(topo, proto);
+  const sim::PacketId window = 20;
+  DelayRecorder rec(n + 1, window);
+  engine.add_observer(rec);
+  engine.run_until(window + 12);
+  // Crashed node: zero arrivals.
+  for (sim::PacketId j = 0; j < window; ++j) {
+    EXPECT_EQ(rec.arrival(3, j), metrics::kNeverArrived);
+  }
+  // Live nodes: most packets arrive, but not all (node 3 relays in every
+  // packet's doubling pattern at some age).
+  NodeKey incomplete = 0;
+  sim::PacketId total_got = 0;
+  for (NodeKey x = 1; x <= n; ++x) {
+    if (x == 3) continue;
+    sim::PacketId got = 0;
+    for (sim::PacketId j = 0; j < window; ++j) {
+      if (rec.arrival(x, j) != metrics::kNeverArrived) ++got;
+    }
+    total_got += got;
+    if (got < window) ++incomplete;
+  }
+  EXPECT_GT(incomplete, 0);
+  // Coverage stays high: one crash shadows subcube fractions, not the swarm.
+  EXPECT_GT(total_got, 14 * window * 3 / 4);
+}
+
+TEST(Protocol, RejectsBadConfigurations) {
+  EXPECT_THROW(HypercubeProtocol({}), std::invalid_argument);
+  EXPECT_THROW(HypercubeProtocol(std::vector<std::vector<Segment>>{{}}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      HypercubeProtocol({{Segment{.k = 0, .start = 0, .first = 1}}}),
+      std::invalid_argument);
+}
+
+TEST(Analysis, WorstDelaySpecialIsK) {
+  EXPECT_EQ(worst_delay(7), 3);
+  EXPECT_EQ(worst_delay(1023), 10);
+}
+
+TEST(Analysis, NeighborBoundGrowsLogarithmically) {
+  EXPECT_LE(neighbor_bound(1'000'000), 3 * 20);
+  EXPECT_GE(neighbor_bound(7), 3);
+}
+
+}  // namespace
+}  // namespace streamcast::hypercube

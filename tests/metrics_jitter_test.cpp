@@ -1,0 +1,124 @@
+// Jitter tests: Observation 2 as a machine-checked invariant — the
+// multi-tree schedule delivers with *exactly* stride-d period, the
+// hypercube with exactly stride-1 period, and the chain trivially.
+#include <gtest/gtest.h>
+
+#include "src/hypercube/analysis.hpp"
+#include "src/hypercube/protocol.hpp"
+#include "src/metrics/jitter.hpp"
+#include "src/multitree/analysis.hpp"
+#include "src/multitree/greedy.hpp"
+#include "src/multitree/protocol.hpp"
+#include "src/net/topology.hpp"
+#include "src/sim/engine.hpp"
+
+namespace streamcast::metrics {
+namespace {
+
+TEST(StrideJitter, HandBuiltGaps) {
+  DelayRecorder rec(2, 6);
+  const Slot arrivals[] = {0, 5, 2, 7, 4, 9};  // stride 2 gaps: all 2
+  for (PacketId j = 0; j < 6; ++j) {
+    rec.on_delivery(sim::Delivery{
+        .sent = arrivals[j],
+        .received = arrivals[j],
+        .tx = {.from = 0, .to = 1, .packet = j, .tag = 0}});
+  }
+  const auto s = stride_jitter(rec, 1, 2);
+  EXPECT_EQ(s.samples, 4u);
+  EXPECT_EQ(s.min_gap, 2);
+  EXPECT_EQ(s.max_gap, 2);
+  EXPECT_DOUBLE_EQ(s.peak_deviation, 0);
+  // Stride 1 alternates +5 / -3.
+  const auto s1 = stride_jitter(rec, 1, 1);
+  EXPECT_EQ(s1.min_gap, -3);
+  EXPECT_EQ(s1.max_gap, 5);
+}
+
+TEST(EventJitter, HandBuiltBursts) {
+  DelayRecorder rec(2, 4);
+  const Slot arrivals[] = {0, 1, 1, 7};  // sorted gaps 1, 0, 6
+  for (PacketId j = 0; j < 4; ++j) {
+    rec.on_delivery(sim::Delivery{
+        .sent = arrivals[j],
+        .received = arrivals[j],
+        .tx = {.from = 0, .to = static_cast<sim::NodeKey>(j == 2 ? 0 : 1),
+               .packet = j, .tag = 0}});
+  }
+  // Node 1 received packets 0,1,3 at slots 0,1,7.
+  const auto s = event_jitter(rec, 1);
+  EXPECT_EQ(s.samples, 2u);
+  EXPECT_EQ(s.min_gap, 1);
+  EXPECT_EQ(s.max_gap, 6);
+}
+
+TEST(StrideJitter, RejectsBadStride) {
+  DelayRecorder rec(2, 4);
+  EXPECT_THROW(stride_jitter(rec, 1, 0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Observation 2 on the real schemes.
+// ---------------------------------------------------------------------------
+
+TEST(ObservationTwo, MultiTreeIsExactlyPeriodicAtStrideD) {
+  for (const int d : {2, 3, 4}) {
+    for (const sim::NodeKey n : {15, 40, 121}) {
+      const multitree::Forest f = multitree::build_greedy(n, d);
+      net::UniformCluster topo(n, d);
+      multitree::MultiTreeProtocol proto(f);
+      sim::Engine engine(topo, proto);
+      const PacketId window = 4 * d * (f.height() + 2);
+      DelayRecorder rec(n + 1, window);
+      engine.add_observer(rec);
+      engine.run_until(window + multitree::worst_delay_bound(n, d) + 3 * d +
+                       4);
+      for (sim::NodeKey x = 1; x <= n; ++x) {
+        // Past the first round of d packets, every stride-d gap is exactly
+        // d: Observation 2, verbatim.
+        const auto s = stride_jitter(rec, x, d, /*warmup=*/d);
+        ASSERT_GT(s.samples, 0u);
+        EXPECT_EQ(s.min_gap, d) << "n=" << n << " d=" << d << " x=" << x;
+        EXPECT_EQ(s.max_gap, d);
+        EXPECT_DOUBLE_EQ(s.peak_deviation, 0);
+        // And event gaps never exceed d (one packet per tree per round).
+        const auto e = event_jitter(rec, x, /*warmup=*/d);
+        EXPECT_LE(e.max_gap, d);
+      }
+    }
+  }
+}
+
+TEST(ObservationTwo, HypercubePeriodicAtStrideKAndOnePacketPerSlot) {
+  for (const sim::NodeKey n : {7, 31, 50}) {
+    net::UniformCluster topo(n, 1);
+    const auto chain = hypercube::decompose_chain(n);
+    hypercube::HypercubeProtocol proto({chain});
+    sim::Engine engine(topo, proto);
+    const PacketId window = 3 * hypercube::worst_delay(n) + 24;
+    DelayRecorder rec(n + 1, window);
+    engine.add_observer(rec);
+    engine.run_until(window + hypercube::worst_delay(n) + 4);
+    const auto warmup = static_cast<PacketId>(hypercube::worst_delay(n));
+    for (const auto& seg : chain) {
+      for (sim::NodeKey x = seg.first; x < seg.first + seg.receivers(); ++x) {
+        // Per-residue periodicity: the cube's pairing repeats every k
+        // slots, so stride-k gaps are exactly k.
+        const auto s = stride_jitter(rec, x, seg.k, warmup);
+        ASSERT_GT(s.samples, 0u);
+        EXPECT_EQ(s.min_gap, seg.k) << "n=" << n << " x=" << x;
+        EXPECT_EQ(s.max_gap, seg.k) << "n=" << n << " x=" << x;
+        // And in event time, essentially one packet per slot (the O(1)
+        // buffer claim depends on this). Gaps up to k appear only at the
+        // warmup boundary, where filtered pre-warmup packets occupy slots.
+        const auto e = event_jitter(rec, x, warmup);
+        EXPECT_EQ(e.min_gap, 1) << "n=" << n << " x=" << x;
+        EXPECT_LE(e.max_gap, seg.k) << "n=" << n << " x=" << x;
+        EXPECT_LE(e.mean_gap, 1.25) << "n=" << n << " x=" << x;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace streamcast::metrics

@@ -1,0 +1,190 @@
+// Churn tests (paper appendix): invariants survive arbitrary add/delete
+// sequences, common-case costs match the paper's accounting, and the lazy
+// policy defers boundary restructuring.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/multitree/churn.hpp"
+#include "src/multitree/validate.hpp"
+#include "src/util/prng.hpp"
+
+namespace streamcast::multitree {
+namespace {
+
+TEST(ChurnForest, StartsWithDensePeers) {
+  ChurnForest cf(10, 3);
+  EXPECT_EQ(cf.n(), 10);
+  for (NodeKey id = 1; id <= 10; ++id) {
+    EXPECT_EQ(cf.peer_at(id), id);  // first peers get ids 1..N
+  }
+  EXPECT_TRUE(validate_forest(cf.forest()).ok);
+}
+
+TEST(ChurnForest, NonBoundaryAdditionMovesNoExistingPeer) {
+  // N = 13, d = 3: I = ceil(13/3)-1 = 4; adding one node keeps I = 4
+  // (ceil(14/3)-1 = 4), so no restructuring and no relabeling.
+  ChurnForest cf(13, 3);
+  const auto before = cf.stats();
+  cf.add();
+  EXPECT_EQ(cf.n(), 14);
+  EXPECT_EQ(cf.stats().total_moves(), before.total_moves());
+  EXPECT_EQ(cf.stats().rebuilds, 0);
+}
+
+TEST(ChurnForest, BoundaryAdditionRestructures) {
+  // N = 15, d = 3: I = 4; adding one makes I = ceil(16/3)-1 = 5.
+  ChurnForest cf(15, 3);
+  cf.add();
+  EXPECT_EQ(cf.n(), 16);
+  EXPECT_EQ(cf.stats().rebuilds, 1);
+  EXPECT_GT(cf.stats().rebuild_moves, 0);
+  EXPECT_TRUE(validate_forest(cf.forest()).ok);
+}
+
+TEST(ChurnForest, DeletingLastAllLeafCostsNothing) {
+  // Peer at id N is the "last all-leaf node in tree T_0": removing it needs
+  // no replacement swap, and N = 14 -> 13 keeps I = 4 (d = 3).
+  ChurnForest cf(14, 3);
+  cf.remove(cf.peer_at(14));
+  EXPECT_EQ(cf.n(), 13);
+  EXPECT_EQ(cf.stats().total_moves(), 0);
+}
+
+TEST(ChurnForest, DeletingInteriorCostsOneRelabel) {
+  // Paper Step 1: the departing interior node is replaced by the last
+  // all-leaf node — exactly d per-tree position changes for one peer.
+  ChurnForest cf(14, 3);
+  const PeerId victim = cf.peer_at(2);  // id 2 is interior in T_0
+  cf.remove(victim);
+  EXPECT_EQ(cf.n(), 13);
+  EXPECT_EQ(cf.stats().relabel_moves, 3);
+  EXPECT_EQ(cf.stats().rebuild_moves, 0);
+  // The old id-14 peer now answers at id 2.
+  EXPECT_EQ(cf.peer_at(2), 14);
+  EXPECT_EQ(cf.id_of(victim), -1);
+}
+
+TEST(ChurnForest, BoundaryDeletionRestructures) {
+  // N = 13 -> 12 (d = 3): I drops from 4 to 3.
+  ChurnForest cf(13, 3);
+  cf.remove(cf.peer_at(13));
+  EXPECT_EQ(cf.stats().rebuilds, 1);
+  EXPECT_TRUE(validate_forest(cf.forest()).ok);
+}
+
+TEST(ChurnForest, RemoveUnknownPeerThrows) {
+  ChurnForest cf(5, 2);
+  EXPECT_THROW(cf.remove(999), std::invalid_argument);
+}
+
+TEST(ChurnForest, CannotEmptyTheSystem) {
+  ChurnForest cf(1, 2);
+  EXPECT_THROW(cf.remove(cf.peer_at(1)), std::logic_error);
+}
+
+TEST(ChurnForest, LazyDefersAlternatingBoundaryOps) {
+  // Alternate add/remove across the N = 15/16 boundary (d = 3): eager
+  // restructures twice per round trip, lazy not at all.
+  ChurnForest eager(15, 3, ChurnPolicy::kEager);
+  ChurnForest lazy(15, 3, ChurnPolicy::kLazy);
+  for (int round = 0; round < 10; ++round) {
+    const PeerId pe = eager.add();
+    eager.remove(pe);
+    const PeerId pl = lazy.add();
+    lazy.remove(pl);
+  }
+  EXPECT_EQ(eager.stats().rebuilds, 20);
+  EXPECT_EQ(lazy.stats().rebuilds, 1);  // only the very first forced grow
+  EXPECT_LT(lazy.stats().total_moves(), eager.stats().total_moves());
+}
+
+TEST(ChurnForest, LazyShrinksBeforeVacanciesReachTheInteriorPool) {
+  ChurnForest lazy(20, 3, ChurnPolicy::kLazy);
+  for (int i = 0; i < 7; ++i) {
+    lazy.remove(lazy.peer_at(lazy.n()));
+    // Vacant ids must never reach the interior pool {1..dI}: at most d
+    // vacancies at rest (a vacant interior id would starve its subtree in
+    // a live stream).
+    ASSERT_LE(lazy.forest().n_pad() - lazy.n(), 3);
+    ASSERT_GT(lazy.n(), lazy.forest().n_pad() - 3 - 1);
+  }
+  EXPECT_EQ(lazy.n(), 13);
+  EXPECT_GE(lazy.stats().rebuilds, 1);
+  // Structure is canonical again: interior = ceil(13/3)-1 = 4.
+  EXPECT_EQ(lazy.interior(), 4);
+}
+
+TEST(ChurnForest, LazySlackParameterDefersShrinks) {
+  // With slack = 2d (experimental, unsafe for live streams) the forest
+  // tolerates up to 2d vacancies before restructuring.
+  // N = 21 = n_pad: no initial vacancies.
+  ChurnForest wide(21, 3, ChurnPolicy::kLazy, /*lazy_slack=*/6);
+  for (int i = 0; i < 6; ++i) {
+    wide.remove(wide.peer_at(wide.n()));
+    ASSERT_LE(wide.forest().n_pad() - wide.n(), 6);
+  }
+  EXPECT_EQ(wide.stats().rebuilds, 0);  // 6 vacancies = slack: no shrink yet
+  wide.remove(wide.peer_at(wide.n()));
+  EXPECT_EQ(wide.stats().rebuilds, 1);  // 7th forces it
+  // Structure and invariants still hold throughout.
+  EXPECT_TRUE(validate_forest(wide.forest()).ok);
+}
+
+TEST(ChurnForest, RandomSoakKeepsInvariants) {
+  util::Prng rng(2026);
+  for (const int d : {2, 3, 5}) {
+    ChurnForest cf(30, static_cast<NodeKey>(d));
+    std::vector<PeerId> alive;
+    for (NodeKey id = 1; id <= 30; ++id) alive.push_back(cf.peer_at(id));
+    for (int op = 0; op < 300; ++op) {
+      if (cf.n() > 2 && rng.chance(0.5)) {
+        const auto idx = static_cast<std::size_t>(
+            rng.below(alive.size()));
+        cf.remove(alive[idx]);
+        alive.erase(alive.begin() + static_cast<std::ptrdiff_t>(idx));
+        // Relabeling may have reseated the peer formerly at id n; refresh.
+        alive.clear();
+        for (NodeKey id = 1; id <= cf.n(); ++id) {
+          alive.push_back(cf.peer_at(id));
+        }
+      } else {
+        alive.push_back(cf.add());
+      }
+      ASSERT_TRUE(validate_forest(cf.forest()).ok)
+          << "d=" << d << " op=" << op;
+      ASSERT_TRUE(validate_greedy_parity(cf.forest()).ok);
+      // Peers are dense in 1..n and ids above n are vacant.
+      for (NodeKey id = 1; id <= cf.n(); ++id) {
+        ASSERT_NE(cf.peer_at(id), kNoPeer);
+      }
+      for (NodeKey id = cf.n() + 1; id <= cf.forest().n_pad(); ++id) {
+        ASSERT_EQ(cf.peer_at(id), kNoPeer);
+      }
+    }
+  }
+}
+
+TEST(ChurnForest, LazyRandomSoakKeepsInvariants) {
+  util::Prng rng(77);
+  ChurnForest cf(25, 3, ChurnPolicy::kLazy);
+  std::vector<PeerId> alive;
+  for (NodeKey id = 1; id <= 25; ++id) alive.push_back(cf.peer_at(id));
+  for (int op = 0; op < 400; ++op) {
+    if (cf.n() > 2 && rng.chance(0.6)) {
+      const auto idx = static_cast<std::size_t>(rng.below(alive.size()));
+      cf.remove(alive[idx]);
+      alive.clear();
+      for (NodeKey id = 1; id <= cf.n(); ++id) alive.push_back(cf.peer_at(id));
+    } else {
+      alive.push_back(cf.add());
+    }
+    ASSERT_TRUE(validate_forest(cf.forest()).ok) << "op=" << op;
+    // Lazy invariant: at most d vacancies at rest, so vacant ids are
+    // always all-leaf tail ids.
+    ASSERT_LE(cf.forest().n_pad() - cf.n(), 3);
+  }
+}
+
+}  // namespace
+}  // namespace streamcast::multitree

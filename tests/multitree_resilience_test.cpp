@@ -1,0 +1,146 @@
+// Resilience/MDC tests: ancestor-failure propagation per tree, the
+// single-tree contrast, and the structural guarantees interior-disjointness
+// buys (one failure kills at most one description per viewer).
+#include <gtest/gtest.h>
+
+#include "src/multitree/greedy.hpp"
+#include "src/multitree/resilience.hpp"
+#include "src/multitree/structured.hpp"
+#include "src/util/prng.hpp"
+
+namespace streamcast::multitree {
+namespace {
+
+std::vector<bool> none(NodeKey n) {
+  return std::vector<bool>(static_cast<std::size_t>(n) + 1, false);
+}
+
+TEST(Resilience, NoFailuresMeansFullQuality) {
+  const Forest f = build_greedy(15, 3);
+  const auto rx = descriptions_received(f, none(15));
+  for (NodeKey x = 1; x <= 15; ++x) EXPECT_EQ(rx[static_cast<std::size_t>(x)], 3);
+  const auto s = summarize_resilience(rx, none(15), 3);
+  EXPECT_EQ(s.live, 15);
+  EXPECT_EQ(s.fully_served, 15);
+  EXPECT_DOUBLE_EQ(s.mean_quality, 1.0);
+}
+
+TEST(Resilience, SingleFailureKillsAtMostOneDescriptionEach) {
+  // Interior-disjointness: a node forwards in exactly one tree, so its
+  // failure costs every other viewer at most one description.
+  const Forest f = build_greedy(40, 4);
+  for (NodeKey victim = 1; victim <= 40; ++victim) {
+    auto failed = none(40);
+    failed[static_cast<std::size_t>(victim)] = true;
+    const auto rx = descriptions_received(f, failed);
+    for (NodeKey x = 1; x <= 40; ++x) {
+      if (x == victim) {
+        EXPECT_EQ(rx[static_cast<std::size_t>(x)], 0);
+      } else {
+        EXPECT_GE(rx[static_cast<std::size_t>(x)], 3) << "victim " << victim;
+      }
+    }
+  }
+}
+
+TEST(Resilience, AllLeafFailureHurtsNobodyElse) {
+  const Forest f = build_greedy(15, 3);
+  auto failed = none(15);
+  failed[14] = true;  // id 14 is in G_d: leaf in every tree
+  const auto rx = descriptions_received(f, failed);
+  for (NodeKey x = 1; x <= 15; ++x) {
+    if (x == 14) continue;
+    EXPECT_EQ(rx[static_cast<std::size_t>(x)], 3);
+  }
+}
+
+TEST(Resilience, FailuresCascadeDownTheTree) {
+  // In T_0 (identity layout, d = 3), node 1's children are 4,5,6 and node
+  // 4's children are 13,14,15. Killing node 1 cuts T_0's description for
+  // its whole subtree.
+  const Forest f = build_greedy(15, 3);
+  auto failed = none(15);
+  failed[1] = true;
+  const auto rx = descriptions_received(f, failed);
+  for (const NodeKey x : {4, 5, 6, 13, 14, 15}) {
+    EXPECT_EQ(rx[static_cast<std::size_t>(x)], 2) << "x=" << x;
+  }
+  // Nodes outside node 1's subtrees keep all three descriptions.
+  EXPECT_EQ(rx[2], 3);
+  EXPECT_EQ(rx[3], 3);
+}
+
+TEST(Resilience, SingleTreeLosesEverythingBelowAFailure) {
+  // Binary tree over 14 nodes: killing node 1 starves its entire subtree.
+  auto failed = none(14);
+  failed[1] = true;
+  const auto rx = single_tree_reception(14, 2, failed);
+  for (const NodeKey x : {3, 4, 7, 8, 9, 10}) {
+    EXPECT_EQ(rx[static_cast<std::size_t>(x)], 0) << "x=" << x;
+  }
+  EXPECT_EQ(rx[2], 1);
+  EXPECT_EQ(rx[5], 1);
+}
+
+TEST(Resilience, MultiTreeStarvesFarFewerThanSingleTree) {
+  // Mean quality is roughly conserved between the designs (the total
+  // forwarding responsibility is the same); the multi-tree's win is in the
+  // outage distribution — complete starvation needs all d ancestor paths
+  // cut, so far fewer viewers go dark under identical failures.
+  util::Prng rng(13);
+  const NodeKey n = 120;
+  const int d = 3;
+  const Forest f = build_greedy(n, d);
+  for (const NodeKey failures : {3, 8, 20}) {
+    NodeKey multi_starved = 0;
+    NodeKey single_starved = 0;
+    double multi_quality = 0;
+    double single_quality = 0;
+    for (int trial = 0; trial < 10; ++trial) {
+      const auto failed = random_failures(n, failures, rng);
+      const auto multi = summarize_resilience(
+          descriptions_received(f, failed), failed, d);
+      const auto single = summarize_resilience(
+          single_tree_reception(n, d, failed), failed, 1);
+      multi_starved += multi.starved;
+      single_starved += single.starved;
+      multi_quality += multi.mean_quality;
+      single_quality += single.mean_quality;
+    }
+    EXPECT_LT(multi_starved, single_starved) << "failures=" << failures;
+    // Quality within 15% of each other — conserved, not improved.
+    EXPECT_NEAR(multi_quality, single_quality,
+                0.15 * (multi_quality + single_quality));
+  }
+}
+
+TEST(Resilience, StructuredForestSameGuarantees) {
+  const Forest f = build_structured(40, 3);
+  util::Prng rng(77);
+  const auto failed = random_failures(40, 5, rng);
+  const auto rx = descriptions_received(f, failed);
+  const auto s = summarize_resilience(rx, failed, 3);
+  EXPECT_EQ(s.live, 35);
+  EXPECT_EQ(s.live, s.fully_served + s.degraded + s.starved);
+  EXPECT_GT(s.mean_quality, 0.5);
+}
+
+TEST(Resilience, RandomFailuresExactCount) {
+  util::Prng rng(5);
+  const auto failed = random_failures(50, 7, rng);
+  int count = 0;
+  for (const bool b : failed) count += b;
+  EXPECT_EQ(count, 7);
+  EXPECT_FALSE(failed[0]);
+}
+
+TEST(Resilience, RejectsMismatchedSizes) {
+  const Forest f = build_greedy(10, 2);
+  EXPECT_THROW(descriptions_received(f, std::vector<bool>(5)),
+               std::invalid_argument);
+  EXPECT_THROW(single_tree_reception(10, 2, std::vector<bool>(4)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace streamcast::multitree

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "src/net/buffer.hpp"
+#include "src/net/topology.hpp"
+
+namespace streamcast::net {
+namespace {
+
+TEST(UniformCluster, CapacitiesAndLatency) {
+  UniformCluster topo(10, 3);
+  EXPECT_EQ(topo.size(), 11);
+  EXPECT_EQ(topo.send_capacity(0), 3);
+  EXPECT_EQ(topo.recv_capacity(0), 0);
+  EXPECT_EQ(topo.send_capacity(5), 1);
+  EXPECT_EQ(topo.recv_capacity(5), 1);
+  EXPECT_EQ(topo.latency(0, 1), 1);
+  EXPECT_EQ(topo.latency(3, 9), 1);
+}
+
+TEST(UniformCluster, RejectsBadArguments) {
+  EXPECT_THROW(UniformCluster(-1, 2), std::invalid_argument);
+  EXPECT_THROW(UniformCluster(5, 0), std::invalid_argument);
+  EXPECT_THROW(UniformCluster(5, 2, 0), std::invalid_argument);
+}
+
+TEST(ClusteredTopology, KeyLayout) {
+  ClusteredTopology topo({{.n_receivers = 3}, {.n_receivers = 2}},
+                         /*big_d=*/3, /*small_d=*/2, /*t_c=*/10);
+  // 1 source + (2 supers + 3) + (2 supers + 2) = 10.
+  EXPECT_EQ(topo.size(), 10);
+  EXPECT_EQ(topo.source(), 0);
+  EXPECT_EQ(topo.super_node(0), 1);
+  EXPECT_EQ(topo.local_root(0), 2);
+  EXPECT_EQ(topo.receiver(0, 1), 3);
+  EXPECT_EQ(topo.receiver(0, 3), 5);
+  EXPECT_EQ(topo.super_node(1), 6);
+  EXPECT_EQ(topo.local_root(1), 7);
+  EXPECT_EQ(topo.receiver(1, 2), 9);
+}
+
+TEST(ClusteredTopology, LatencyWithinAndAcross) {
+  ClusteredTopology topo({{.n_receivers = 3}, {.n_receivers = 2}}, 3, 2, 10);
+  // Source is in cluster 0 by convention.
+  EXPECT_EQ(topo.cluster_of(0), 0);
+  EXPECT_EQ(topo.latency(0, topo.super_node(0)), 1);
+  EXPECT_EQ(topo.latency(0, topo.super_node(1)), 10);
+  EXPECT_EQ(topo.latency(topo.receiver(0, 1), topo.receiver(0, 2)), 1);
+  EXPECT_EQ(topo.latency(topo.receiver(0, 1), topo.receiver(1, 1)), 10);
+}
+
+TEST(ClusteredTopology, Capacities) {
+  ClusteredTopology topo({{.n_receivers = 3}, {.n_receivers = 2}},
+                         /*big_d=*/4, /*small_d=*/3, /*t_c=*/10);
+  EXPECT_EQ(topo.send_capacity(0), 4);                    // S
+  EXPECT_EQ(topo.send_capacity(topo.super_node(1)), 4);   // S_i
+  EXPECT_EQ(topo.send_capacity(topo.local_root(1)), 3);   // S'_i
+  EXPECT_EQ(topo.send_capacity(topo.receiver(1, 1)), 1);  // plain receiver
+}
+
+TEST(ClusteredTopology, RejectsBadArguments) {
+  using Spec = ClusteredTopology::ClusterSpec;
+  EXPECT_THROW(ClusteredTopology({}, 3, 2, 10), std::invalid_argument);
+  EXPECT_THROW(ClusteredTopology({Spec{1}}, 2, 2, 10), std::invalid_argument);
+  EXPECT_THROW(ClusteredTopology({Spec{1}}, 3, 2, 1), std::invalid_argument);
+}
+
+TEST(PlaybackBuffer, InOrderArrivalPlaysWithoutHiccups) {
+  PlaybackBuffer buf(/*start_slot=*/2);
+  for (sim::Slot t = 0; t < 10; ++t) {
+    buf.on_receive(t, t);  // packet t arrives in slot t
+    buf.advance_to(t);
+  }
+  EXPECT_EQ(buf.hiccups(), 0);
+  EXPECT_EQ(buf.played(), 8);  // packets 0..7 played in slots 2..9
+  EXPECT_LE(buf.max_occupancy(), 3u);
+}
+
+TEST(PlaybackBuffer, OutOfOrderWithinStartWindowIsFine) {
+  // Arrivals: packet 2 at slot 0, packet 0 at slot 1, packet 1 at slot 2.
+  PlaybackBuffer buf(/*start_slot=*/2);
+  buf.on_receive(0, 2);
+  buf.advance_to(0);
+  buf.on_receive(1, 0);
+  buf.advance_to(1);
+  buf.on_receive(2, 1);
+  buf.advance_to(2);  // plays packet 0
+  buf.advance_to(4);  // plays packets 1, 2
+  EXPECT_EQ(buf.hiccups(), 0);
+  EXPECT_EQ(buf.played(), 3);
+  EXPECT_EQ(buf.max_occupancy(), 3u);
+}
+
+TEST(PlaybackBuffer, MissingPacketCountsOneHiccupAndSkips) {
+  PlaybackBuffer buf(/*start_slot=*/0);
+  buf.on_receive(0, 0);
+  buf.advance_to(0);  // plays 0
+  buf.advance_to(1);  // packet 1 missing -> hiccup, skipped
+  buf.on_receive(2, 2);
+  buf.advance_to(2);  // plays 2
+  EXPECT_EQ(buf.hiccups(), 1);
+  EXPECT_EQ(buf.played(), 2);
+}
+
+TEST(PlaybackBuffer, LateArrivalCounted) {
+  PlaybackBuffer buf(/*start_slot=*/0);
+  buf.advance_to(0);      // packet 0 missing
+  buf.on_receive(1, 0);   // arrives one slot late
+  buf.advance_to(1);      // packet 1 missing too
+  EXPECT_EQ(buf.hiccups(), 2);
+  EXPECT_EQ(buf.late_or_duplicate(), 1);
+}
+
+TEST(PlaybackBuffer, DuplicateCounted) {
+  PlaybackBuffer buf(/*start_slot=*/5);
+  buf.on_receive(0, 3);
+  buf.on_receive(1, 3);
+  EXPECT_EQ(buf.late_or_duplicate(), 1);
+  EXPECT_EQ(buf.occupancy(), 1u);
+}
+
+TEST(PlaybackBuffer, OccupancyGrowsUntilStart) {
+  PlaybackBuffer buf(/*start_slot=*/4);
+  for (sim::Slot t = 0; t < 8; ++t) {
+    buf.on_receive(t, t);
+    buf.advance_to(t);
+  }
+  // Slots 0..3 accumulate packets 0..3; playback then keeps pace.
+  EXPECT_EQ(buf.max_occupancy(), 5u);
+  EXPECT_EQ(buf.hiccups(), 0);
+}
+
+}  // namespace
+}  // namespace streamcast::net

@@ -1,0 +1,181 @@
+// Engine tests: latency semantics, capacity enforcement, duplicate
+// detection, observer dispatch.
+#include <gtest/gtest.h>
+
+#include "src/net/topology.hpp"
+#include "src/sim/engine.hpp"
+#include "src/sim/trace.hpp"
+
+namespace streamcast::sim {
+namespace {
+
+/// Scripted protocol: replays a fixed list of (slot, Tx).
+class Scripted final : public Protocol {
+ public:
+  void at(Slot t, Tx tx) { script_.emplace_back(t, tx); }
+
+  void transmit(Slot t, std::vector<Tx>& out) override {
+    for (const auto& [slot, tx] : script_) {
+      if (slot == t) out.push_back(tx);
+    }
+  }
+  void deliver(Slot t, const Tx& tx) override {
+    delivered.push_back(Delivery{.sent = -1, .received = t, .tx = tx});
+  }
+
+  std::vector<Delivery> delivered;
+
+ private:
+  std::vector<std::pair<Slot, Tx>> script_;
+};
+
+class Recorder final : public DeliveryObserver {
+ public:
+  void on_delivery(const Delivery& d) override { all.push_back(d); }
+  std::vector<Delivery> all;
+};
+
+Tx tx(NodeKey from, NodeKey to, PacketId p) {
+  return Tx{.from = from, .to = to, .packet = p, .tag = 0};
+}
+
+TEST(Engine, UnitLatencyDeliversSameSlot) {
+  net::UniformCluster topo(3, 1);
+  Scripted proto;
+  proto.at(0, tx(0, 1, 0));
+  Engine engine(topo, proto);
+  Recorder rec;
+  engine.add_observer(rec);
+  engine.run_until(1);
+  ASSERT_EQ(rec.all.size(), 1u);
+  EXPECT_EQ(rec.all[0].sent, 0);
+  EXPECT_EQ(rec.all[0].received, 0);
+  EXPECT_EQ(proto.delivered.size(), 1u);
+}
+
+TEST(Engine, InterClusterLatencyDelaysDelivery) {
+  // Two clusters, T_c = 5: a cross-cluster packet sent in slot 0 arrives in
+  // slot 4 (occupies 5 slots).
+  net::ClusteredTopology topo({{.n_receivers = 2}, {.n_receivers = 2}},
+                              /*big_d=*/3, /*small_d=*/2, /*t_c=*/5);
+  Scripted proto;
+  proto.at(0, tx(topo.super_node(0), topo.super_node(1), 7));
+  Engine engine(topo, proto);
+  Recorder rec;
+  engine.add_observer(rec);
+  engine.run_until(4);
+  EXPECT_TRUE(rec.all.empty());
+  engine.run_until(5);
+  ASSERT_EQ(rec.all.size(), 1u);
+  EXPECT_EQ(rec.all[0].received, 4);
+}
+
+TEST(Engine, SendCapacityEnforced) {
+  net::UniformCluster topo(3, /*source_capacity=*/2);
+  Scripted proto;
+  proto.at(0, tx(0, 1, 0));
+  proto.at(0, tx(0, 2, 1));
+  proto.at(0, tx(0, 3, 2));  // third send from S: over capacity 2
+  Engine engine(topo, proto);
+  EXPECT_THROW(engine.run_until(1), ProtocolViolation);
+}
+
+TEST(Engine, ReceiverSendCapacityIsOne) {
+  net::UniformCluster topo(3, 4);
+  Scripted proto;
+  proto.at(0, tx(1, 2, 0));
+  proto.at(0, tx(1, 3, 1));
+  Engine engine(topo, proto);
+  EXPECT_THROW(engine.run_until(1), ProtocolViolation);
+}
+
+TEST(Engine, ReceiveCapacityEnforced) {
+  net::UniformCluster topo(3, 4);
+  Scripted proto;
+  proto.at(0, tx(0, 1, 0));
+  proto.at(0, tx(0, 1, 1));  // node 1 receives twice in one slot
+  Engine engine(topo, proto);
+  EXPECT_THROW(engine.run_until(1), ProtocolViolation);
+}
+
+TEST(Engine, SourceCannotReceive) {
+  net::UniformCluster topo(2, 2);
+  Scripted proto;
+  proto.at(0, tx(1, 0, 0));
+  Engine engine(topo, proto);
+  EXPECT_THROW(engine.run_until(1), ProtocolViolation);
+}
+
+TEST(Engine, SelfSendRejected) {
+  net::UniformCluster topo(2, 2);
+  Scripted proto;
+  proto.at(0, tx(1, 1, 0));
+  Engine engine(topo, proto);
+  EXPECT_THROW(engine.run_until(1), ProtocolViolation);
+}
+
+TEST(Engine, OutOfRangeKeyRejected) {
+  net::UniformCluster topo(2, 2);
+  Scripted proto;
+  proto.at(0, tx(0, 9, 0));
+  Engine engine(topo, proto);
+  EXPECT_THROW(engine.run_until(1), ProtocolViolation);
+}
+
+TEST(Engine, DuplicateDeliveryRejectedByDefault) {
+  net::UniformCluster topo(3, 2);
+  Scripted proto;
+  proto.at(0, tx(0, 1, 0));
+  proto.at(1, tx(2, 1, 0));  // same packet again (from another sender)
+  Engine engine(topo, proto);
+  EXPECT_THROW(engine.run_until(2), ProtocolViolation);
+}
+
+TEST(Engine, DuplicateDeliveryCountedWhenAllowed) {
+  net::UniformCluster topo(3, 2);
+  Scripted proto;
+  proto.at(0, tx(0, 1, 0));
+  proto.at(1, tx(2, 1, 0));
+  Engine engine(topo, proto, EngineOptions{.forbid_duplicates = false});
+  engine.run_until(2);
+  EXPECT_EQ(engine.stats().duplicate_deliveries, 1);
+  EXPECT_EQ(engine.stats().transmissions, 2);
+}
+
+TEST(Engine, CapacityIsPerSlotNotCumulative) {
+  net::UniformCluster topo(3, 1);
+  Scripted proto;
+  for (Slot t = 0; t < 10; ++t) {
+    proto.at(t, tx(0, 1, t));  // one send per slot for 10 slots: fine
+  }
+  Engine engine(topo, proto);
+  EXPECT_NO_THROW(engine.run_until(10));
+  EXPECT_EQ(engine.stats().transmissions, 10);
+}
+
+TEST(Engine, RunUntilIsResumable) {
+  net::UniformCluster topo(2, 1);
+  Scripted proto;
+  proto.at(3, tx(0, 1, 0));
+  Engine engine(topo, proto);
+  engine.run_until(2);
+  EXPECT_EQ(engine.now(), 2);
+  engine.run_until(5);
+  EXPECT_EQ(engine.now(), 5);
+  EXPECT_EQ(proto.delivered.size(), 1u);
+}
+
+TEST(Trace, QueriesBySenderReceiverAndSlot) {
+  Trace trace;
+  trace.record(Delivery{.sent = 0, .received = 0, .tx = tx(0, 1, 5)});
+  trace.record(Delivery{.sent = 1, .received = 1, .tx = tx(1, 2, 5)});
+  trace.record(Delivery{.sent = 1, .received = 1, .tx = tx(0, 3, 6)});
+  EXPECT_EQ(trace.all().size(), 3u);
+  EXPECT_EQ(trace.received_by(2).size(), 1u);
+  EXPECT_EQ(trace.sent_by(0).size(), 2u);
+  EXPECT_EQ(trace.sent_in(1).size(), 2u);
+  EXPECT_EQ(trace.sent_in(7).size(), 0u);
+}
+
+}  // namespace
+}  // namespace streamcast::sim

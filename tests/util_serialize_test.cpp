@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "src/multitree/greedy.hpp"
+#include "src/multitree/structured.hpp"
+#include "src/multitree/validate.hpp"
+#include "src/util/serialize.hpp"
+
+namespace streamcast::util {
+namespace {
+
+using multitree::Forest;
+
+TEST(Serialize, RoundTripIdentity) {
+  for (const int d : {1, 2, 3, 5}) {
+    for (const multitree::NodeKey n : {1, 7, 15, 16, 40}) {
+      const Forest original = multitree::build_greedy(n, d);
+      const Forest restored =
+          forest_from_string(forest_to_string(original));
+      EXPECT_EQ(restored.n(), original.n());
+      EXPECT_EQ(restored.d(), original.d());
+      for (int k = 0; k < d; ++k) {
+        EXPECT_EQ(restored.tree(k), original.tree(k))
+            << "n=" << n << " d=" << d << " k=" << k;
+      }
+      EXPECT_TRUE(multitree::validate_forest(restored).ok);
+    }
+  }
+}
+
+TEST(Serialize, StructuredRoundTripToo) {
+  const Forest original = multitree::build_structured(27, 3);
+  const Forest restored = forest_from_string(forest_to_string(original));
+  for (int k = 0; k < 3; ++k) {
+    EXPECT_EQ(restored.tree(k), original.tree(k));
+  }
+}
+
+TEST(Serialize, OutputIsDeterministic) {
+  const Forest f = multitree::build_greedy(15, 3);
+  EXPECT_EQ(forest_to_string(f), forest_to_string(f));
+  EXPECT_NE(forest_to_string(f).find("streamcast-forest v1\nn 15 d 3\n"),
+            std::string::npos);
+}
+
+TEST(Serialize, RejectsBadHeader) {
+  EXPECT_THROW(forest_from_string("nonsense\n"), std::runtime_error);
+  EXPECT_THROW(forest_from_string("streamcast-forest v1\nq 5 d 2\n"),
+               std::runtime_error);
+  EXPECT_THROW(forest_from_string("streamcast-forest v1\nn 0 d 2\n"),
+               std::runtime_error);
+}
+
+TEST(Serialize, RejectsTruncatedAndCorruptTrees) {
+  const Forest f = multitree::build_greedy(6, 2);
+  std::string text = forest_to_string(f);
+  // Truncate the last tree.
+  EXPECT_THROW(forest_from_string(text.substr(0, text.size() - 4)),
+               std::runtime_error);
+  // Duplicate a node id (breaks the permutation).
+  std::string corrupt = text;
+  const auto pos = corrupt.rfind(" 5");
+  ASSERT_NE(pos, std::string::npos);
+  corrupt.replace(pos, 2, " 1");
+  EXPECT_THROW(forest_from_string(corrupt), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace streamcast::util

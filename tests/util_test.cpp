@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "src/util/ascii_tree.hpp"
+#include "src/util/ints.hpp"
+#include "src/util/prng.hpp"
+#include "src/util/table.hpp"
+
+namespace streamcast::util {
+namespace {
+
+TEST(Ints, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 3), 0);
+  EXPECT_EQ(ceil_div(1, 3), 1);
+  EXPECT_EQ(ceil_div(3, 3), 1);
+  EXPECT_EQ(ceil_div(4, 3), 2);
+  EXPECT_EQ(ceil_div(15, 3), 5);
+  EXPECT_EQ(ceil_div(16, 3), 6);
+}
+
+TEST(Ints, Logs) {
+  EXPECT_EQ(floor_log2(1), 0);
+  EXPECT_EQ(floor_log2(2), 1);
+  EXPECT_EQ(floor_log2(3), 1);
+  EXPECT_EQ(floor_log2(1024), 10);
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(1025), 11);
+}
+
+TEST(Ints, CeilLogGeneral) {
+  EXPECT_EQ(ceil_log(3, 1), 0);
+  EXPECT_EQ(ceil_log(3, 3), 1);
+  EXPECT_EQ(ceil_log(3, 4), 2);
+  EXPECT_EQ(ceil_log(3, 9), 2);
+  EXPECT_EQ(ceil_log(3, 10), 3);
+  EXPECT_EQ(ceil_log(2, 1024), 10);
+}
+
+TEST(Ints, ModFloor) {
+  EXPECT_EQ(mod_floor(5, 3), 2);
+  EXPECT_EQ(mod_floor(-1, 3), 2);
+  EXPECT_EQ(mod_floor(-3, 3), 0);
+  EXPECT_EQ(mod_floor(0, 7), 0);
+}
+
+TEST(Ints, CompleteDarySize) {
+  EXPECT_EQ(complete_dary_size(2, 0), 0);
+  EXPECT_EQ(complete_dary_size(2, 1), 2);
+  EXPECT_EQ(complete_dary_size(2, 3), 14);
+  EXPECT_EQ(complete_dary_size(3, 2), 12);
+  EXPECT_EQ(complete_dary_size(3, 3), 39);
+}
+
+TEST(Prng, DeterministicAcrossInstances) {
+  Prng a(42);
+  Prng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Prng, DifferentSeedsDiffer) {
+  Prng a(1);
+  Prng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Prng, BelowStaysInRange) {
+  Prng g(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(g.below(17), 17u);
+  }
+}
+
+TEST(Prng, RangeInclusiveCoversEndpoints) {
+  Prng g(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(g.range(-2, 2));
+  EXPECT_EQ(seen, (std::set<std::int64_t>{-2, -1, 0, 1, 2}));
+}
+
+TEST(Prng, UniformInUnitInterval) {
+  Prng g(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = g.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Table, AlignsAndCountsRows) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  EXPECT_EQ(t.rows(), 2u);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TableCell, FormatsNumbers) {
+  EXPECT_EQ(cell(std::int64_t{42}), "42");
+  EXPECT_EQ(cell(3.14159, 3), "3.142");
+  EXPECT_EQ(cell(2.0, 3), "2");
+  EXPECT_EQ(cell(2.5, 1), "2.5");
+}
+
+TEST(AsciiTree, RendersSmallTree) {
+  // 0 is root with children 1,2; 1 has child 3.
+  const std::vector<int> parent{-1, 0, 0, 1};
+  const auto label = [](int i) { return std::to_string(i); };
+  const std::string art = render_tree(parent, label);
+  EXPECT_NE(art.find("0\n"), std::string::npos);
+  EXPECT_NE(art.find("+-- 1"), std::string::npos);
+  EXPECT_NE(art.find("`-- 2"), std::string::npos);
+}
+
+TEST(AsciiTree, RendersLevels) {
+  const std::vector<int> parent{-1, 0, 0, 1};
+  const auto label = [](int i) { return std::to_string(i); };
+  EXPECT_EQ(render_levels(parent, label), "0 | 1 2 | 3\n");
+}
+
+}  // namespace
+}  // namespace streamcast::util

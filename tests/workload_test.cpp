@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/workload/churn_trace.hpp"
+
+namespace streamcast::workload {
+namespace {
+
+TEST(ChurnTrace, DeterministicForASeed) {
+  const TraceConfig cfg{.arrival_rate = 0.1,
+                        .mean_lifetime = 200,
+                        .horizon = 1000,
+                        .initial_n = 20,
+                        .seed = 99};
+  EXPECT_EQ(generate_churn_trace(cfg), generate_churn_trace(cfg));
+  TraceConfig other = cfg;
+  other.seed = 100;
+  EXPECT_NE(generate_churn_trace(cfg), generate_churn_trace(other));
+}
+
+TEST(ChurnTrace, SortedWithArrivalsFirst) {
+  const auto trace = generate_churn_trace({.arrival_rate = 0.3,
+                                           .mean_lifetime = 50,
+                                           .horizon = 600,
+                                           .initial_n = 10,
+                                           .seed = 7});
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    ASSERT_LE(trace[i - 1].slot, trace[i].slot);
+    if (trace[i - 1].slot == trace[i].slot) {
+      // Never a departure before an arrival in the same slot.
+      ASSERT_FALSE(!trace[i - 1].arrival && trace[i].arrival);
+    }
+  }
+}
+
+TEST(ChurnTrace, EveryDepartureFollowsItsArrival) {
+  const auto trace = generate_churn_trace({.arrival_rate = 0.2,
+                                           .mean_lifetime = 100,
+                                           .horizon = 800,
+                                           .initial_n = 5,
+                                           .seed = 3});
+  std::set<std::int64_t> present;
+  for (std::int64_t p = 0; p < 5; ++p) present.insert(p);
+  for (const auto& e : trace) {
+    if (e.arrival) {
+      ASSERT_TRUE(present.insert(e.peer).second) << "double arrival";
+    } else {
+      ASSERT_EQ(present.erase(e.peer), 1u) << "departure without arrival";
+    }
+  }
+  EXPECT_EQ(static_cast<NodeKey>(present.size()),
+            survivors({.initial_n = 5}, trace));
+}
+
+TEST(ChurnTrace, StatisticsMatchTheModel) {
+  // Long trace: arrival count ~ rate * horizon; measured lifetimes of
+  // departed peers ~ mean_lifetime (within loose stochastic tolerance).
+  const TraceConfig cfg{.arrival_rate = 0.2,
+                        .mean_lifetime = 300,
+                        .horizon = 50'000,
+                        .initial_n = 0,
+                        .seed = 42};
+  const auto trace = generate_churn_trace(cfg);
+  std::int64_t arrivals = 0;
+  std::map<std::int64_t, Slot> born;
+  double lifetime_sum = 0;
+  std::int64_t departures = 0;
+  for (const auto& e : trace) {
+    if (e.arrival) {
+      ++arrivals;
+      born[e.peer] = e.slot;
+    } else {
+      lifetime_sum += static_cast<double>(e.slot - born[e.peer]);
+      ++departures;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(arrivals),
+              cfg.arrival_rate * static_cast<double>(cfg.horizon),
+              0.05 * cfg.arrival_rate * static_cast<double>(cfg.horizon));
+  ASSERT_GT(departures, 1000);
+  EXPECT_NEAR(lifetime_sum / static_cast<double>(departures),
+              cfg.mean_lifetime, 0.08 * cfg.mean_lifetime);
+}
+
+TEST(ChurnTrace, ZeroRateMeansOnlyInitialDepartures) {
+  const auto trace = generate_churn_trace({.arrival_rate = 0,
+                                           .mean_lifetime = 100,
+                                           .horizon = 2000,
+                                           .initial_n = 30,
+                                           .seed = 1});
+  for (const auto& e : trace) EXPECT_FALSE(e.arrival);
+  EXPECT_LE(trace.size(), 30u);
+}
+
+TEST(ChurnTrace, RejectsBadConfig) {
+  EXPECT_THROW(generate_churn_trace({.arrival_rate = -1}),
+               std::invalid_argument);
+  EXPECT_THROW(generate_churn_trace({.mean_lifetime = 0}),
+               std::invalid_argument);
+  EXPECT_THROW(generate_churn_trace({.horizon = 0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace streamcast::workload
