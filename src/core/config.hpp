@@ -1,6 +1,10 @@
 // Public configuration of a streaming session.
 #pragma once
 
+#include <cstdint>
+
+#include "src/loss/model.hpp"
+#include "src/loss/recovery.hpp"
 #include "src/multitree/protocol.hpp"
 #include "src/sim/packet.hpp"
 
@@ -21,6 +25,33 @@ enum class Scheme {
 };
 
 const char* scheme_name(Scheme s);
+
+/// Lossy-link extension of a session (single cluster only). The default —
+/// model == kNone — is exactly the reliable run; nothing is wrapped.
+struct LossConfig {
+  /// Erasure channel on every link. kNone disables the whole subsystem.
+  loss::ErasureKind model = loss::ErasureKind::kNone;
+  /// Bernoulli erasure probability (model == kBernoulli).
+  double rate = 0.0;
+  /// Gilbert–Elliott channel parameters (model == kGilbertElliott).
+  loss::GilbertElliottLoss::Params ge{};
+  /// Seed for the erasure PRNG; runs reproduce bit-for-bit.
+  std::uint64_t seed = 0x5eed;
+  /// How gaps are repaired (see loss::RecoveryProtocol).
+  loss::RecoveryMode recovery = loss::RecoveryMode::kNack;
+  /// Data packets per XOR parity packet (recovery == kFec).
+  int fec_window = 8;
+  /// Capacity headroom for repair traffic on top of the paper's exactly-
+  /// provisioned links (net::ProvisionedTopology). Unused at loss rate 0.
+  int extra_send = 1;
+  int extra_recv = 1;
+  /// Extra slots past the reliable horizon the session may simulate while
+  /// waiting for every receiver's gap-free prefix to reach the window.
+  Slot max_drain = 4096;
+  /// Playback start slot for the continuity metrics; -1 = use the run's
+  /// worst playback delay (so a reliable run reports zero stalls).
+  Slot playback_start = -1;
+};
 
 struct SessionConfig {
   Scheme scheme = Scheme::kMultiTreeGreedy;
@@ -43,6 +74,9 @@ struct SessionConfig {
   int big_d = 3;
   /// Inter-cluster latency T_c > 1 (clusters > 1 only).
   Slot t_c = 10;
+
+  // --- lossy links (clusters == 1 only) ------------------------------------
+  LossConfig loss{};
 };
 
 }  // namespace streamcast::core

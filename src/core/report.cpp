@@ -13,6 +13,9 @@ std::string QosReport::summary() const {
      << worst_delay << " slots, avg delay " << util::cell(average_delay, 2)
      << ", max buffer " << max_buffer << " pkts, max neighbors "
      << max_neighbors << ", " << transmissions << " transmissions";
+  if (drops > 0 || retransmissions > 0) {
+    os << ", " << drops << " drops, " << retransmissions << " retransmissions";
+  }
   return os.str();
 }
 

@@ -20,6 +20,10 @@ struct QosReport {
   std::size_t max_neighbors = 0;
   double average_neighbors = 0;
   std::int64_t transmissions = 0;
+  /// Lossy-run health (zero on reliable links): transmissions erased by the
+  /// link loss model, and NACK repair retransmissions.
+  std::int64_t drops = 0;
+  std::int64_t retransmissions = 0;
 
   /// One-line rendering used by examples.
   std::string summary() const;

@@ -1,5 +1,6 @@
 #include "src/core/session.hpp"
 
+#include <algorithm>
 #include <memory>
 #include <stdexcept>
 
@@ -7,7 +8,10 @@
 #include "src/baseline/single_tree.hpp"
 #include "src/hypercube/analysis.hpp"
 #include "src/hypercube/protocol.hpp"
+#include "src/loss/model.hpp"
+#include "src/loss/recovery.hpp"
 #include "src/metrics/buffers.hpp"
+#include "src/metrics/continuity.hpp"
 #include "src/metrics/delay.hpp"
 #include "src/metrics/neighbors.hpp"
 #include "src/multitree/analysis.hpp"
@@ -48,6 +52,13 @@ StreamingSession::StreamingSession(SessionConfig config)
       throw std::invalid_argument(
           "multi-cluster sessions support kMultiTreeGreedy or kHypercube");
     }
+    if (config_.loss.model != loss::ErasureKind::kNone) {
+      throw std::invalid_argument("lossy links require clusters == 1");
+    }
+  }
+  if (config_.loss.fec_window < 1) throw std::invalid_argument("fec_window < 1");
+  if (config_.loss.extra_send < 0 || config_.loss.extra_recv < 0) {
+    throw std::invalid_argument("negative capacity headroom");
   }
 }
 
@@ -118,74 +129,94 @@ QosReport run_multicluster(const SessionConfig& config) {
   return report;
 }
 
-}  // namespace
-
-QosReport StreamingSession::run() const {
-  if (config_.clusters > 1) return run_multicluster(config_);
-  const NodeKey n = config_.n;
-  const int d = config_.d;
-
-  // Assemble scheme-specific pieces.
+/// Scheme-specific pieces of a single-cluster run, assembled once and shared
+/// by the reliable and lossy paths.
+struct SchemePieces {
   std::unique_ptr<net::Topology> topology;
-  std::unique_ptr<sim::Protocol> protocol;
   std::unique_ptr<multitree::Forest> forest;  // kept alive for the protocol
-  PacketId window = config_.window;
+  std::unique_ptr<sim::Protocol> protocol;
+  PacketId window = 0;
   Slot slack = 4;  // horizon beyond window + worst delay
+};
 
-  switch (config_.scheme) {
+SchemePieces build_scheme(const SessionConfig& config) {
+  const NodeKey n = config.n;
+  const int d = config.d;
+  SchemePieces p;
+  p.window = config.window;
+
+  switch (config.scheme) {
     case Scheme::kMultiTreeStructured:
     case Scheme::kMultiTreeGreedy: {
-      forest = std::make_unique<multitree::Forest>(
-          config_.scheme == Scheme::kMultiTreeGreedy
+      p.forest = std::make_unique<multitree::Forest>(
+          config.scheme == Scheme::kMultiTreeGreedy
               ? multitree::build_greedy(n, d)
               : multitree::build_structured(n, d));
-      if (window == 0) window = 2 * d * (forest->height() + 2);
-      topology = std::make_unique<net::UniformCluster>(n, d);
-      protocol =
-          std::make_unique<multitree::MultiTreeProtocol>(*forest,
-                                                         config_.mode);
-      slack += multitree::worst_delay_bound(n, d) + 3 * d;
+      if (p.window == 0) p.window = 2 * d * (p.forest->height() + 2);
+      p.topology = std::make_unique<net::UniformCluster>(n, d);
+      p.protocol =
+          std::make_unique<multitree::MultiTreeProtocol>(*p.forest,
+                                                         config.mode);
+      p.slack += multitree::worst_delay_bound(n, d) + 3 * d;
       break;
     }
     case Scheme::kHypercube: {
-      if (window == 0) window = 2 * hypercube::worst_delay(n) + 8;
-      topology = std::make_unique<net::UniformCluster>(n, 1);
-      protocol = std::make_unique<hypercube::HypercubeProtocol>(
+      if (p.window == 0) p.window = 2 * hypercube::worst_delay(n) + 8;
+      p.topology = std::make_unique<net::UniformCluster>(n, 1);
+      p.protocol = std::make_unique<hypercube::HypercubeProtocol>(
           std::vector<std::vector<hypercube::Segment>>{
               hypercube::decompose_chain(n)});
-      slack += hypercube::worst_delay(n);
+      p.slack += hypercube::worst_delay(n);
       break;
     }
     case Scheme::kHypercubeGrouped: {
-      if (window == 0) window = 2 * hypercube::worst_delay_grouped(n, d) + 8;
-      topology = std::make_unique<net::UniformCluster>(n, d);
+      if (p.window == 0) {
+        p.window = 2 * hypercube::worst_delay_grouped(n, d) + 8;
+      }
+      p.topology = std::make_unique<net::UniformCluster>(n, d);
       std::vector<std::vector<hypercube::Segment>> chains;
       for (auto& g : hypercube::decompose_grouped(n, d)) {
         chains.push_back(std::move(g.chain));
       }
-      protocol =
+      p.protocol =
           std::make_unique<hypercube::HypercubeProtocol>(std::move(chains));
-      slack += hypercube::worst_delay_grouped(n, d);
+      p.slack += hypercube::worst_delay_grouped(n, d);
       break;
     }
     case Scheme::kChain: {
-      if (window == 0) window = 8;
-      topology = std::make_unique<net::UniformCluster>(n, 1);
-      protocol = std::make_unique<baseline::ChainProtocol>(n);
-      slack += n;
+      if (p.window == 0) p.window = 8;
+      p.topology = std::make_unique<net::UniformCluster>(n, 1);
+      p.protocol = std::make_unique<baseline::ChainProtocol>(n);
+      p.slack += n;
       break;
     }
     case Scheme::kSingleTree: {
-      if (window == 0) window = 8;
-      topology = std::make_unique<baseline::BoostedCluster>(n, d);
-      protocol = std::make_unique<baseline::SingleTreeProtocol>(n, d);
-      slack += baseline::single_tree_worst_delay(n, d) + 2;
+      if (p.window == 0) p.window = 8;
+      p.topology = std::make_unique<baseline::BoostedCluster>(n, d);
+      p.protocol = std::make_unique<baseline::SingleTreeProtocol>(n, d);
+      p.slack += baseline::single_tree_worst_delay(n, d) + 2;
       break;
     }
   }
+  return p;
+}
+
+}  // namespace
+
+QosReport StreamingSession::run() const {
+  if (config_.clusters > 1) return run_multicluster(config_);
+  if (config_.loss.model != loss::ErasureKind::kNone) {
+    return run_lossy().qos;
+  }
+  const NodeKey n = config_.n;
+  const int d = config_.d;
+
+  SchemePieces pieces = build_scheme(config_);
+  const PacketId window = pieces.window;
+  const Slot slack = pieces.slack;
 
   // Simulate with all recorders attached.
-  sim::Engine engine(*topology, *protocol);
+  sim::Engine engine(*pieces.topology, *pieces.protocol);
   metrics::DelayRecorder delays(n + 1, window);
   metrics::NeighborRecorder neighbors(n + 1);
   engine.add_observer(delays);
@@ -211,6 +242,128 @@ QosReport StreamingSession::run() const {
   report.average_neighbors = neighbors.mean_count(1, n);
   report.transmissions = engine.stats().transmissions;
   return report;
+}
+
+LossRunResult StreamingSession::run_lossy() const {
+  if (config_.clusters > 1) {
+    throw std::invalid_argument("lossy runs require clusters == 1");
+  }
+  const NodeKey n = config_.n;
+  const LossConfig& lc = config_.loss;
+
+  SchemePieces pieces = build_scheme(config_);
+  const PacketId window = pieces.window;
+
+  // Headroom for repair traffic on top of the paper's exact provisioning;
+  // unused while no packet is lost, so a kNone/zero-rate run is bit-identical
+  // to the reliable engine (regression-tested).
+  net::ProvisionedTopology topology(*pieces.topology, lc.extra_send,
+                                    lc.extra_recv);
+  std::unique_ptr<loss::LossModel> model =
+      loss::make_model(lc.model, lc.rate, lc.ge, lc.seed);
+
+  loss::RecoveryOptions opts;
+  opts.mode = lc.recovery;
+  opts.fec_window = lc.fec_window;
+  // Every packet id flows over every link only in the newest-only
+  // forwarders; elsewhere id jumps per link are part of the schedule.
+  opts.dense_links = config_.scheme == Scheme::kChain ||
+                     config_.scheme == Scheme::kSingleTree;
+  // The hypercube's demand-driven exchanges stop offering a packet once its
+  // consumption slot passes, so some gaps produce no failed transmission to
+  // NACK: sweep them once they outlive any legitimate arrival skew (bounded
+  // by the slack, which includes the scheme's worst-delay bound).
+  if (config_.scheme == Scheme::kHypercube ||
+      config_.scheme == Scheme::kHypercubeGrouped) {
+    opts.gap_timeout = pieces.slack;
+  }
+  loss::RecoveryProtocol recovery(topology, *pieces.protocol, opts);
+
+  sim::Engine engine(topology, recovery);
+  engine.set_loss_model(model.get());
+  engine.add_observer(recovery);  // drop reports + post-repair fan-out
+
+  // Metrics observe the post-repair stream (repairs and FEC decodes count
+  // as arrivals), so they attach to the recovery layer, not the engine.
+  metrics::DelayRecorder delays(n + 1, window);
+  metrics::NeighborRecorder neighbors(n + 1);
+  metrics::ContinuityRecorder continuity(n + 1, window);
+  recovery.add_observer(delays);
+  recovery.add_observer(neighbors);
+  recovery.add_observer(continuity);
+
+  const Slot horizon = window + pieces.slack;
+  engine.run_until(horizon);
+
+  // Drain: keep simulating in small chunks until every receiver's gap-free
+  // prefix covers the window, or the drain budget runs out.
+  Slot drained = 0;
+  while (!recovery.all_gap_free(1, n, window) && drained < lc.max_drain) {
+    const Slot chunk = std::min<Slot>(32, lc.max_drain - drained);
+    drained += chunk;
+    engine.run_until(horizon + drained);
+  }
+  const Slot end = horizon + drained;
+
+  LossRunResult result;
+  QosReport& report = result.qos;
+  report.scheme = scheme_name(config_.scheme);
+  report.n = n;
+  report.d = config_.d;
+  report.transmissions = engine.stats().transmissions;
+  report.drops = engine.stats().drops;
+  report.retransmissions = engine.stats().retransmissions;
+
+  // Aggregate delay/buffer over receivers that completed the window; count
+  // the rest instead of throwing (a lossy run may legitimately time out).
+  double delay_sum = 0;
+  double buffer_sum = 0;
+  NodeKey complete = 0;
+  for (NodeKey x = 1; x <= n; ++x) {
+    const auto a = delays.playback_delay(x);
+    if (!a) {
+      ++result.loss.incomplete_nodes;
+      continue;
+    }
+    report.worst_delay = std::max(report.worst_delay, *a);
+    delay_sum += static_cast<double>(*a);
+    std::vector<Slot> row(static_cast<std::size_t>(window));
+    for (PacketId j = 0; j < window; ++j) {
+      row[static_cast<std::size_t>(j)] = delays.arrival(x, j);
+    }
+    const std::size_t occ = metrics::max_buffer_occupancy(row, *a);
+    report.max_buffer = std::max(report.max_buffer, occ);
+    buffer_sum += static_cast<double>(occ);
+    ++complete;
+  }
+  if (complete > 0) {
+    report.average_delay = delay_sum / static_cast<double>(complete);
+    report.average_buffer = buffer_sum / static_cast<double>(complete);
+  }
+  report.max_neighbors = neighbors.max_count(1, n);
+  report.average_neighbors = neighbors.mean_count(1, n);
+
+  LossSummary& summary = result.loss;
+  const loss::RecoveryStats& rs = recovery.stats();
+  summary.drops = engine.stats().drops;
+  summary.retransmissions = rs.retransmissions;
+  summary.parity_transmissions = rs.parity_transmissions;
+  summary.fec_decodes = rs.fec_decodes;
+  summary.suppressed = rs.suppressed_causal + rs.suppressed_redundant;
+  summary.nacks = rs.nacks;
+  summary.redundancy_overhead = rs.redundancy_overhead();
+  summary.all_gap_free = recovery.all_gap_free(1, n, window);
+  summary.drain_slots = drained;
+
+  const Slot playback_start =
+      lc.playback_start >= 0 ? lc.playback_start : report.worst_delay;
+  for (NodeKey x = 1; x <= n; ++x) {
+    const auto cr = continuity.report(x, playback_start, end);
+    summary.stalls = std::max(summary.stalls, cr.stalls);
+    summary.stall_slots = std::max(summary.stall_slots, cr.stall_slots);
+    summary.undecodable += cr.undecodable;
+  }
+  return result;
 }
 
 }  // namespace streamcast::core

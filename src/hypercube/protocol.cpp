@@ -25,6 +25,16 @@ HypercubeProtocol::HypercubeProtocol(std::vector<std::vector<Segment>> chains,
   }
   held_.resize(static_cast<std::size_t>(std::max(max_key, source_key_)) + 1);
   failed_.resize(held_.size(), false);
+  seg_of_.resize(held_.size(), {-1, -1});
+  for (std::size_t c = 0; c < chains_.size(); ++c) {
+    for (std::size_t s = 0; s < chains_[c].size(); ++s) {
+      const Segment& seg = chains_[c][s].seg;
+      for (NodeKey key = seg.first; key < seg.first + seg.receivers(); ++key) {
+        seg_of_[static_cast<std::size_t>(key)] = {
+            static_cast<std::int32_t>(c), static_cast<std::int32_t>(s)};
+      }
+    }
+  }
 }
 
 void HypercubeProtocol::fail_node(NodeKey key) {
@@ -68,10 +78,10 @@ void HypercubeProtocol::transmit(Slot t, std::vector<Tx>& out) {
         const Vertex feeder = Vertex{1} << dimension_of(up_tau, up.k);
         sender = up.key_of(feeder);
         // The feeder forwards the packet its cube consumed last slot; the
-        // chain's start offsets make that exactly tau.
+        // chain's start offsets make that exactly tau. On reliable links the
+        // feeder always holds it; on lossy links it may not — the emission
+        // below is then suppressed and repaired by the recovery layer.
         assert(up_tau - up.k == tau);
-        assert(failed_[static_cast<std::size_t>(sender)] ||
-               held_[static_cast<std::size_t>(sender)].contains(tau));
       }
       const NodeKey entry_key = seg.key_of(entry);
       if (!failed_[static_cast<std::size_t>(sender)] &&
@@ -116,6 +126,18 @@ void HypercubeProtocol::transmit(Slot t, std::vector<Tx>& out) {
 
 void HypercubeProtocol::deliver(Slot t, const Tx& tx) {
   (void)t;
+  // A repair arriving after the packet's cube-wide consumption slot (lossy
+  // links only) must not re-enter the buffer: retirement already passed, so
+  // the entry would never leave and its set position would permanently win
+  // the oldest-missing exchange scan. On reliable links every delivery
+  // precedes consumption and this never triggers.
+  const auto [chain, seg] = seg_of_[static_cast<std::size_t>(tx.to)];
+  if (chain >= 0 &&
+      tx.packet < chains_[static_cast<std::size_t>(chain)]
+                         [static_cast<std::size_t>(seg)]
+                             .next_consume) {
+    return;
+  }
   auto& held = held_[static_cast<std::size_t>(tx.to)];
   const bool fresh = held.insert(tx.packet).second;
   assert(fresh && "hypercube exchange must be duplicate-free");

@@ -18,7 +18,9 @@
 //     cube-wide consumption slot start + m + k.
 #pragma once
 
+#include <cstdint>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include "src/hypercube/arbitrary.hpp"
@@ -65,6 +67,9 @@ class HypercubeProtocol final : public sim::Protocol {
   NodeKey source_key_ = 0;
   std::vector<std::set<PacketId>> held_;  // by node key; [source] unused
   std::vector<bool> failed_;              // crashed receivers
+  /// Node key -> (chain, segment) of the cube the node belongs to;
+  /// {-1, -1} for the source.
+  std::vector<std::pair<std::int32_t, std::int32_t>> seg_of_;
   NodeKey receivers_ = 0;
   std::size_t max_buffered_ = 0;
 };

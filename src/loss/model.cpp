@@ -1,0 +1,87 @@
+#include "src/loss/model.hpp"
+
+#include <stdexcept>
+
+namespace streamcast::loss {
+
+namespace {
+
+std::uint64_t link_key(const Tx& tx) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(tx.from))
+          << 32) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(tx.to));
+}
+
+void check_probability(double p, const char* what) {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument(std::string(what) + " must be in [0, 1]");
+  }
+}
+
+}  // namespace
+
+BernoulliLoss::BernoulliLoss(double rate, std::uint64_t seed)
+    : rate_(rate), prng_(seed) {
+  check_probability(rate, "loss rate");
+}
+
+bool BernoulliLoss::erased(Slot t, const Tx& tx) {
+  (void)t;
+  (void)tx;
+  return prng_.chance(rate_);
+}
+
+GilbertElliottLoss::GilbertElliottLoss(Params params, std::uint64_t seed)
+    : params_(params), seed_(seed) {
+  check_probability(params.p_enter, "p_enter");
+  check_probability(params.p_recover, "p_recover");
+  check_probability(params.loss_good, "loss_good");
+  check_probability(params.loss_bad, "loss_bad");
+  if (params.p_recover <= 0.0) {
+    throw std::invalid_argument("p_recover must be > 0 (bursts must end)");
+  }
+}
+
+GilbertElliottLoss::Link& GilbertElliottLoss::link_state(const Tx& tx) {
+  const std::uint64_t key = link_key(tx);
+  auto it = links_.find(key);
+  if (it == links_.end()) {
+    // Fork a per-link PRNG from the seed and the link key so link chains are
+    // independent and insertion-order-free.
+    it = links_.emplace(key, Link{.bad = false, .prng = util::Prng(seed_ ^ key)})
+             .first;
+  }
+  return it->second;
+}
+
+bool GilbertElliottLoss::erased(Slot t, const Tx& tx) {
+  (void)t;
+  Link& link = link_state(tx);
+  const double p_loss = link.bad ? params_.loss_bad : params_.loss_good;
+  const bool lost = link.prng.chance(p_loss);
+  const double p_flip = link.bad ? params_.p_recover : params_.p_enter;
+  if (link.prng.chance(p_flip)) link.bad = !link.bad;
+  return lost;
+}
+
+double GilbertElliottLoss::stationary_loss_rate() const {
+  const double denom = params_.p_enter + params_.p_recover;
+  const double pi_bad = denom > 0.0 ? params_.p_enter / denom : 0.0;
+  return pi_bad * params_.loss_bad + (1.0 - pi_bad) * params_.loss_good;
+}
+
+std::unique_ptr<LossModel> make_model(ErasureKind kind, double rate,
+                                      GilbertElliottLoss::Params ge,
+                                      std::uint64_t seed) {
+  switch (kind) {
+    case ErasureKind::kNone:
+      return nullptr;
+    case ErasureKind::kBernoulli:
+      return std::make_unique<BernoulliLoss>(rate, seed);
+    case ErasureKind::kGilbertElliott:
+      return std::make_unique<GilbertElliottLoss>(ge, seed);
+  }
+  return nullptr;
+}
+
+}  // namespace streamcast::loss

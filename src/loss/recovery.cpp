@@ -1,0 +1,457 @@
+#include "src/loss/recovery.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace streamcast::loss {
+
+namespace {
+
+std::uint64_t flight_key(NodeKey to, PacketId p) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(to)) << 40) ^
+         static_cast<std::uint64_t>(p);
+}
+
+/// Cap on how many skipped ids one transmission may open for repair; a dense
+/// scheme advances one id per slot per link, so anything near this bound
+/// would indicate a mis-flagged strided scheme.
+constexpr PacketId kMaxSkipRange = 4096;
+
+}  // namespace
+
+const char* recovery_mode_name(RecoveryMode m) {
+  switch (m) {
+    case RecoveryMode::kNone:
+      return "none";
+    case RecoveryMode::kNack:
+      return "nack";
+    case RecoveryMode::kFec:
+      return "fec";
+  }
+  return "?";
+}
+
+double RecoveryStats::redundancy_overhead() const {
+  if (data_transmissions == 0) return 0.0;
+  return static_cast<double>(retransmissions + parity_transmissions) /
+         static_cast<double>(data_transmissions);
+}
+
+void SequenceTracker::mark(PacketId p) {
+  if (p < next_) return;
+  if (p == next_) {
+    ++next_;
+    while (!ahead_.empty() && *ahead_.begin() == next_) {
+      ahead_.erase(ahead_.begin());
+      ++next_;
+    }
+    return;
+  }
+  ahead_.insert(p);
+}
+
+RecoveryProtocol::RecoveryProtocol(const net::Topology& topology,
+                                   sim::Protocol& inner,
+                                   RecoveryOptions options)
+    : topology_(topology), inner_(inner), options_(options) {
+  const auto n = static_cast<std::size_t>(topology_.size());
+  trackers_.resize(n);
+  senders_seen_.resize(n);
+  unresolved_.resize(n);
+  send_used_.resize(n);
+  if (options_.fec_window < 1) options_.fec_window = 1;
+}
+
+bool RecoveryProtocol::holds(NodeKey node, PacketId p) const {
+  if (node == options_.source) return true;
+  return trackers_[static_cast<std::size_t>(node)].has(p);
+}
+
+bool RecoveryProtocol::in_flight(NodeKey to, PacketId p) const {
+  return in_flight_.contains(flight_key(to, p));
+}
+
+void RecoveryProtocol::set_in_flight(NodeKey to, PacketId p, bool value) {
+  if (value) {
+    in_flight_.insert(flight_key(to, p));
+  } else {
+    in_flight_.erase(flight_key(to, p));
+  }
+}
+
+Slot RecoveryProtocol::nack_due(Slot detect_slot, NodeKey from,
+                                NodeKey to) const {
+  // The receiver notices the gap in `detect_slot`, NACKs the sender (one
+  // reverse-link trip), and the repair may leave the following slot.
+  return detect_slot + topology_.latency(to, from) + 1 + options_.nack_delay;
+}
+
+void RecoveryProtocol::schedule_repair(NodeKey to, PacketId p, NodeKey sender,
+                                       std::int32_t tag, Slot due) {
+  auto [it, inserted] = pending_.try_emplace(
+      {to, p}, Repair{.sender = sender, .tag = tag, .due = due});
+  if (!inserted) {
+    // A repair for this gap was already pending (e.g. the repair itself was
+    // dropped): refresh it.
+    it->second.due = due;
+    it->second.in_flight = false;
+  }
+  ++stats_.nacks;
+}
+
+void RecoveryProtocol::mark_outstanding(NodeKey to, std::int32_t tag,
+                                        PacketId p) {
+  if (trackers_[static_cast<std::size_t>(to)].has(p)) return;
+  const auto key = std::make_pair(to, p);
+  if (outstanding_tag_.contains(key)) return;
+  outstanding_tag_[key] = tag;
+  outstanding_[{to, tag}].insert(p);
+}
+
+void RecoveryProtocol::detect_dense_skips(Slot t, const Tx& tx) {
+  // On a dense link the very first emission is id 0 on a lossless run, so an
+  // absent entry is baseline -1: a first emission of id > 0 means the ids
+  // below it were lost upstream before this link ever carried them.
+  const auto it = last_emitted_.find({tx.from, tx.to});
+  const PacketId last = it == last_emitted_.end() ? -1 : it->second;
+  if (tx.packet <= last + 1) return;
+  const PacketId lo = std::max(last + 1, tx.packet - kMaxSkipRange);
+  for (PacketId g = lo; g < tx.packet; ++g) {
+    if (trackers_[static_cast<std::size_t>(tx.to)].has(g)) continue;
+    if (in_flight(tx.to, g)) continue;
+    if (pending_.contains({tx.to, g})) continue;
+    mark_outstanding(tx.to, tx.tag, g);
+    schedule_repair(tx.to, g, tx.from, tx.tag,
+                    nack_due(t + topology_.latency(tx.from, tx.to) - 1,
+                             tx.from, tx.to));
+  }
+}
+
+bool RecoveryProtocol::recv_headroom(Slot arrive, NodeKey to) const {
+  const auto it = planned_recv_.find(arrive);
+  const int used =
+      it == planned_recv_.end() ? 0 : it->second[static_cast<std::size_t>(to)];
+  return used < topology_.recv_capacity(to);
+}
+
+void RecoveryProtocol::note_planned_arrival(Slot arrive, NodeKey to) {
+  auto it = planned_recv_.find(arrive);
+  if (it == planned_recv_.end()) {
+    it = planned_recv_
+             .emplace(arrive,
+                      std::vector<int>(
+                          static_cast<std::size_t>(topology_.size()), 0))
+             .first;
+  }
+  ++it->second[static_cast<std::size_t>(to)];
+}
+
+void RecoveryProtocol::transmit(Slot t, std::vector<Tx>& out) {
+  inner_scratch_.clear();
+  inner_.transmit(t, inner_scratch_);
+  std::ranges::fill(send_used_, 0);
+  while (!planned_recv_.empty() && planned_recv_.begin()->first < t) {
+    planned_recv_.erase(planned_recv_.begin());
+  }
+
+  for (const Tx& tx : inner_scratch_) {
+    assert(tx.packet < sim::kControlIdBase);
+    if (!holds(tx.from, tx.packet)) {
+      // Causality violation: the lossless schedule assumed this packet had
+      // arrived at the sender. Suppress, and repair the downstream gap once
+      // the sender (or anyone else) holds it.
+      ++stats_.suppressed_causal;
+      auto& last = last_emitted_[{tx.from, tx.to}];
+      last = std::max(last, tx.packet);
+      if (options_.mode == RecoveryMode::kNack && !holds(tx.to, tx.packet) &&
+          !pending_.contains({tx.to, tx.packet})) {
+        mark_outstanding(tx.to, tx.tag, tx.packet);
+        schedule_repair(tx.to, tx.packet, tx.from, tx.tag,
+                        nack_due(t + topology_.latency(tx.from, tx.to) - 1,
+                                 tx.from, tx.to));
+      } else if (options_.mode != RecoveryMode::kNack) {
+        mark_outstanding(tx.to, tx.tag, tx.packet);
+      }
+      continue;
+    }
+    if (holds(tx.to, tx.packet) || in_flight(tx.to, tx.packet)) {
+      // Redundant under loss (e.g. a chain node relaying a stale "newest"
+      // twice, or a repair already on its way). Suppressing keeps the
+      // duplicate-free engine invariant and frees the slot for repairs.
+      ++stats_.suppressed_redundant;
+      auto& last = last_emitted_[{tx.from, tx.to}];
+      last = std::max(last, tx.packet);
+      continue;
+    }
+    if (options_.dense_links && options_.mode == RecoveryMode::kNack) {
+      detect_dense_skips(t, tx);
+    }
+    auto& last = last_emitted_[{tx.from, tx.to}];
+    last = std::max(last, tx.packet);
+    out.push_back(tx);
+    ++send_used_[static_cast<std::size_t>(tx.from)];
+    note_planned_arrival(t + topology_.latency(tx.from, tx.to) - 1, tx.to);
+    set_in_flight(tx.to, tx.packet, true);
+    ++stats_.data_transmissions;
+    if (options_.mode == RecoveryMode::kFec) fec_accumulate(tx);
+  }
+
+  if (options_.mode == RecoveryMode::kNack) {
+    if (options_.gap_timeout >= 0) sweep_aged_gaps(t);
+    emit_repairs(t, out);
+  }
+  if (options_.mode == RecoveryMode::kFec) emit_parity(t, out);
+}
+
+void RecoveryProtocol::sweep_aged_gaps(Slot t) {
+  const auto size = static_cast<NodeKey>(trackers_.size());
+  for (NodeKey v = 0; v < size; ++v) {
+    if (v == options_.source) continue;
+    const SequenceTracker& tracker = trackers_[static_cast<std::size_t>(v)];
+    if (tracker.ahead().empty()) continue;
+    PacketId expected = tracker.gap_free_prefix();
+    for (const PacketId a : tracker.ahead()) {
+      for (PacketId g = expected; g < a; ++g) {
+        const auto key = std::make_pair(v, g);
+        const auto [it, first_seen] = gap_seen_.try_emplace(key, t);
+        if (first_seen) continue;
+        if (t - it->second < options_.gap_timeout) continue;
+        if (in_flight(v, g) || pending_.contains(key)) continue;
+        mark_outstanding(v, /*tag=*/0, g);
+        schedule_repair(v, g, options_.source, /*tag=*/0, t);
+      }
+      expected = a + 1;
+    }
+  }
+}
+
+void RecoveryProtocol::emit_repairs(Slot t, std::vector<Tx>& out) {
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    const auto [to, packet] = it->first;
+    Repair& repair = it->second;
+    if (trackers_[static_cast<std::size_t>(to)].has(packet)) {
+      it = pending_.erase(it);
+      continue;
+    }
+    if (repair.in_flight || repair.due > t || in_flight(to, packet)) {
+      ++it;
+      continue;
+    }
+    // Pick a repair source: the original sender if it holds the packet by
+    // now, else any node that has previously delivered to this receiver,
+    // else the stream source — first match with residual send capacity and
+    // receive headroom at the arrival slot.
+    NodeKey chosen = sim::kNoNode;
+    std::vector<NodeKey> candidates;
+    candidates.push_back(repair.sender);
+    for (const NodeKey s : senders_seen_[static_cast<std::size_t>(to)]) {
+      candidates.push_back(s);
+    }
+    candidates.push_back(options_.source);
+    for (const NodeKey s : candidates) {
+      if (s == to || s < 0) continue;
+      if (!holds(s, packet)) continue;
+      if (send_used_[static_cast<std::size_t>(s)] >=
+          topology_.send_capacity(s)) {
+        continue;
+      }
+      if (!recv_headroom(t + topology_.latency(s, to) - 1, to)) continue;
+      chosen = s;
+      break;
+    }
+    if (chosen == sim::kNoNode) {
+      ++it;  // no capacity or no holder this slot; retry next slot
+      continue;
+    }
+    out.push_back(Tx{.from = chosen,
+                     .to = to,
+                     .packet = packet,
+                     .tag = repair.tag,
+                     .retransmit = true});
+    ++stats_.retransmissions;
+    ++send_used_[static_cast<std::size_t>(chosen)];
+    note_planned_arrival(t + topology_.latency(chosen, to) - 1, to);
+    set_in_flight(to, packet, true);
+    repair.in_flight = true;
+    ++it;
+  }
+}
+
+void RecoveryProtocol::fec_accumulate(const Tx& tx) {
+  auto& window = fec_acc_[{tx.from, tx.to}];
+  window.push_back(tx);
+  if (std::cmp_less(window.size(), options_.fec_window)) return;
+  ParityWindow parity{.from = tx.from, .to = tx.to, .data = std::move(window)};
+  window.clear();
+  parity_queue_.emplace_back(next_parity_id_++, std::move(parity));
+}
+
+void RecoveryProtocol::emit_parity(Slot t, std::vector<Tx>& out) {
+  for (auto it = parity_queue_.begin(); it != parity_queue_.end();) {
+    const auto& [id, window] = *it;
+    if (send_used_[static_cast<std::size_t>(window.from)] >=
+            topology_.send_capacity(window.from) ||
+        !recv_headroom(t + topology_.latency(window.from, window.to) - 1,
+                       window.to)) {
+      ++it;  // blocked on capacity; keep for a later slot
+      continue;
+    }
+    out.push_back(Tx{.from = window.from,
+                     .to = window.to,
+                     .packet = id,
+                     .tag = -1});
+    ++send_used_[static_cast<std::size_t>(window.from)];
+    note_planned_arrival(t + topology_.latency(window.from, window.to) - 1,
+                         window.to);
+    ++stats_.parity_transmissions;
+    parity_windows_.emplace(id, window);
+    it = parity_queue_.erase(it);
+  }
+}
+
+void RecoveryProtocol::deliver(Slot t, const Tx& tx) {
+  if (tx.packet >= sim::kControlIdBase) {
+    handle_parity_arrival(t, tx);
+    return;
+  }
+  auto& seen = senders_seen_[static_cast<std::size_t>(tx.to)];
+  if (std::ranges::find(seen, tx.from) == seen.end()) seen.push_back(tx.from);
+  ingest_data(t, tx);
+  recheck_unresolved(t, tx.to);
+}
+
+void RecoveryProtocol::ingest_data(Slot t, const Tx& tx) {
+  const NodeKey to = tx.to;
+  trackers_[static_cast<std::size_t>(to)].mark(tx.packet);
+  set_in_flight(to, tx.packet, false);
+  pending_.erase({to, tx.packet});
+  gap_seen_.erase({to, tx.packet});
+  // If this packet was a known gap, retire it from the in-order gate (the
+  // release below plus the flush unblocks everything it was holding back).
+  std::int32_t tag = tx.tag;
+  const auto out_it = outstanding_tag_.find({to, tx.packet});
+  if (out_it != outstanding_tag_.end()) {
+    tag = out_it->second;
+    auto& set = outstanding_[{to, tag}];
+    set.erase(tx.packet);
+    if (set.empty()) outstanding_.erase({to, tag});
+    outstanding_tag_.erase(out_it);
+  }
+  Tx release = tx;
+  release.tag = tag;
+  release_in_order(t, release);
+  flush_held_back(t, to, tag);
+}
+
+void RecoveryProtocol::release_in_order(Slot t, const Tx& tx) {
+  const auto it = outstanding_.find({tx.to, tx.tag});
+  if (it != outstanding_.end() && !it->second.empty() &&
+      *it->second.begin() < tx.packet) {
+    held_back_[{tx.to, tx.tag}].emplace(tx.packet, tx);
+    return;
+  }
+  inner_.deliver(t, tx);
+}
+
+void RecoveryProtocol::flush_held_back(Slot t, NodeKey to, std::int32_t tag) {
+  const auto key = std::make_pair(to, tag);
+  const auto held_it = held_back_.find(key);
+  if (held_it == held_back_.end()) return;
+  auto& held = held_it->second;
+  while (!held.empty()) {
+    const auto out_it = outstanding_.find(key);
+    const PacketId next = held.begin()->first;
+    if (out_it != outstanding_.end() && !out_it->second.empty() &&
+        *out_it->second.begin() < next) {
+      break;  // an older gap is still open
+    }
+    const Tx tx = held.begin()->second;
+    held.erase(held.begin());
+    inner_.deliver(t, tx);
+  }
+  if (held.empty()) held_back_.erase(held_it);
+}
+
+void RecoveryProtocol::handle_parity_arrival(Slot t, const Tx& tx) {
+  if (!try_decode(t, tx.packet) && parity_windows_.contains(tx.packet)) {
+    unresolved_[static_cast<std::size_t>(tx.to)].push_back(tx.packet);
+  }
+}
+
+bool RecoveryProtocol::try_decode(Slot t, PacketId parity_id) {
+  const auto it = parity_windows_.find(parity_id);
+  if (it == parity_windows_.end()) return true;  // already resolved
+  const ParityWindow& window = it->second;
+  const NodeKey to = window.to;
+  const Tx* missing = nullptr;
+  int missing_count = 0;
+  for (const Tx& data : window.data) {
+    if (trackers_[static_cast<std::size_t>(to)].has(data.packet)) continue;
+    ++missing_count;
+    missing = &data;
+  }
+  if (missing_count == 0) {
+    parity_windows_.erase(it);
+    return true;
+  }
+  if (missing_count > 1 ||
+      in_flight(to, missing->packet)) {  // cannot (or need not) decode yet
+    return false;
+  }
+  // XOR of the parity with the w-1 received packets yields the missing one.
+  ++stats_.fec_decodes;
+  const Tx decoded = *missing;
+  parity_windows_.erase(it);
+  const sim::Delivery synthetic{.sent = t, .received = t, .tx = decoded};
+  for (sim::DeliveryObserver* obs : observers_) obs->on_delivery(synthetic);
+  ingest_data(t, decoded);
+  return true;
+}
+
+void RecoveryProtocol::recheck_unresolved(Slot t, NodeKey node) {
+  auto& list = unresolved_[static_cast<std::size_t>(node)];
+  // A successful decode can make another window of the same receiver
+  // decodable, so iterate to a fixpoint.
+  while (std::erase_if(list, [&](const PacketId id) {
+           return try_decode(t, id);
+         }) > 0) {
+  }
+}
+
+void RecoveryProtocol::on_delivery(const sim::Delivery& d) {
+  // Fan the post-repair stream out to attached metrics. FEC-decoded packets
+  // are synthesized in try_decode; everything the engine actually delivered
+  // (data, repairs, parity) passes through here.
+  for (sim::DeliveryObserver* obs : observers_) obs->on_delivery(d);
+}
+
+void RecoveryProtocol::on_drop(const sim::Drop& d) {
+  const Tx& tx = d.tx;
+  if (tx.packet >= sim::kControlIdBase) {
+    // A lost parity packet: its window is simply unprotected.
+    parity_windows_.erase(tx.packet);
+    return;
+  }
+  set_in_flight(tx.to, tx.packet, false);
+  mark_outstanding(tx.to, tx.tag, tx.packet);
+  for (sim::DeliveryObserver* obs : observers_) obs->on_drop(d);
+  if (options_.mode == RecoveryMode::kNack) {
+    schedule_repair(tx.to, tx.packet, tx.from, tx.tag,
+                    nack_due(d.would_arrive, tx.from, tx.to));
+  }
+}
+
+PacketId RecoveryProtocol::gap_free_prefix(NodeKey node) const {
+  return trackers_[static_cast<std::size_t>(node)].gap_free_prefix();
+}
+
+bool RecoveryProtocol::all_gap_free(NodeKey from, NodeKey to,
+                                    PacketId window) const {
+  for (NodeKey n = from; n <= to; ++n) {
+    if (gap_free_prefix(n) < window) return false;
+  }
+  return true;
+}
+
+}  // namespace streamcast::loss

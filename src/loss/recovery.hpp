@@ -1,0 +1,237 @@
+// Recovery decorator: wraps any sim::Protocol so it survives lossy links.
+//
+// The paper's schemes were designed for reliable links; under erasures they
+// misbehave in scheme-specific ways (a multi-tree interior's cursor would
+// forward packets it never received, a chain node would relay a stale packet
+// twice). RecoveryProtocol sits between the engine and the wrapped protocol
+// and restores correctness generically:
+//
+//  * Sequence tracking — per node, the gap-free prefix plus the set of
+//    packets received ahead of it (SequenceTracker). This is both the repair
+//    trigger and the acceptance criterion ("every node eventually holds a
+//    gap-free prefix").
+//  * Causality enforcement — a transmission of a packet the sender does not
+//    hold is suppressed (the lossless schedule assumed it had arrived), as
+//    is a transmission the receiver already holds or that is already in
+//    flight (duplicate-free invariant preserved under loss).
+//  * In-order hand-off — deliveries are released to the wrapped protocol in
+//    packet order per (receiver, tag) substream, holding back arrivals that
+//    overtook a known-lost packet. The schemes' in-order invariants
+//    (multi-tree congruence) therefore hold verbatim under loss.
+//  * NACK repair (RecoveryMode::kNack) — every detected gap (engine drop
+//    report, suppressed send, or skipped id on a dense link) schedules a
+//    retransmission from a node that holds the packet, after a modeled
+//    NACK round trip, using only residual send/receive capacity (see
+//    net::ProvisionedTopology). Lost repairs are re-NACKed, so every gap
+//    eventually closes.
+//  * XOR-parity FEC (RecoveryMode::kFec) — per link, one parity packet per
+//    window of `fec_window` data packets; a single erasure inside the window
+//    decodes at the receiver without a round trip. Parity ids live in the
+//    control id space (sim::kControlIdBase) and are never part of the
+//    stream.
+//
+// At loss rate 0 nothing is suppressed, repaired, or held back, and the
+// engine-visible schedule is bit-identical to running the wrapped protocol
+// bare (regression-tested).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+#include "src/net/topology.hpp"
+#include "src/sim/engine.hpp"
+#include "src/sim/protocol.hpp"
+
+namespace streamcast::loss {
+
+using sim::NodeKey;
+using sim::PacketId;
+using sim::Slot;
+using sim::Tx;
+
+enum class RecoveryMode { kNone, kNack, kFec };
+
+const char* recovery_mode_name(RecoveryMode m);
+
+struct RecoveryOptions {
+  RecoveryMode mode = RecoveryMode::kNack;
+  /// Data packets per XOR parity packet (kFec).
+  int fec_window = 8;
+  /// Extra slots added to the modeled NACK round trip before a repair is
+  /// eligible to be sent.
+  Slot nack_delay = 0;
+  /// Enable sender-side skip detection for newest-only forwarders (chain,
+  /// single tree): every packet id flows over every link, so an id jump on a
+  /// link is a gap the receiver will never otherwise see. Must stay off for
+  /// schemes whose per-link id streams are strided (multi-tree) or demand-
+  /// driven (hypercube) — there an id jump is normal.
+  bool dense_links = false;
+  /// Age (in slots) after which a still-open receive gap is NACKed from the
+  /// source even though no transmission of it was ever seen failing. Needed
+  /// for demand-driven schemes (hypercube) where a packet that missed its
+  /// consumption deadline is simply never offered again; must exceed the
+  /// scheme's worst inter-arrival skew so it cannot fire on a lossless run.
+  /// -1 disables the sweep. Repairs issued here carry tag 0, so only enable
+  /// it for schemes whose deliver() ignores tags.
+  Slot gap_timeout = -1;
+  /// Node that originates the stream and implicitly holds every packet.
+  NodeKey source = 0;
+};
+
+struct RecoveryStats {
+  std::int64_t data_transmissions = 0;
+  std::int64_t retransmissions = 0;
+  std::int64_t parity_transmissions = 0;
+  std::int64_t fec_decodes = 0;
+  /// Sends suppressed because the sender did not hold the packet.
+  std::int64_t suppressed_causal = 0;
+  /// Sends suppressed because the receiver already held the packet (or it
+  /// was already in flight).
+  std::int64_t suppressed_redundant = 0;
+  /// Repair requests issued (including re-NACKs of lost repairs).
+  std::int64_t nacks = 0;
+
+  /// Repair traffic per useful data transmission:
+  /// (retransmissions + parity) / data.
+  double redundancy_overhead() const;
+};
+
+/// Per-node expected-vs-delivered sequence state: the gap-free prefix
+/// [0, next) plus everything received ahead of it.
+class SequenceTracker {
+ public:
+  /// Records receipt of packet p (idempotent).
+  void mark(PacketId p);
+
+  bool has(PacketId p) const {
+    return p < next_ || ahead_.contains(p);
+  }
+
+  /// First packet id not yet received: the stream prefix [0, prefix) is
+  /// complete and gap-free.
+  PacketId gap_free_prefix() const { return next_; }
+
+  /// Ids received ahead of the prefix (the current gaps' far side).
+  const std::set<PacketId>& ahead() const { return ahead_; }
+
+ private:
+  PacketId next_ = 0;
+  std::set<PacketId> ahead_;
+};
+
+class RecoveryProtocol final : public sim::Protocol,
+                               public sim::DeliveryObserver {
+ public:
+  /// `topology` must be the engine's topology (typically a
+  /// net::ProvisionedTopology so repairs have capacity to ride on) and must
+  /// outlive the protocol, as must `inner`. Register the instance with the
+  /// engine as an observer too (engine.add_observer(recovery)) so it sees
+  /// drop reports.
+  RecoveryProtocol(const net::Topology& topology, sim::Protocol& inner,
+                   RecoveryOptions options = {});
+
+  // sim::Protocol (engine-facing)
+  void transmit(Slot t, std::vector<Tx>& out) override;
+  void deliver(Slot t, const Tx& tx) override;
+
+  // sim::DeliveryObserver (drop reports + post-repair stream fan-out)
+  void on_delivery(const sim::Delivery& d) override;
+  void on_drop(const sim::Drop& d) override;
+
+  /// Observers of the post-repair stream: real deliveries, repair
+  /// retransmissions, parity arrivals, and synthesized FEC-decoded packets.
+  /// Metrics that should measure what the application sees attach here, not
+  /// to the engine.
+  void add_observer(sim::DeliveryObserver& obs) {
+    observers_.push_back(&obs);
+  }
+
+  /// First data packet id `node` has not yet received (repairs included).
+  PacketId gap_free_prefix(NodeKey node) const;
+
+  /// True iff every node in [from, to] holds the gap-free prefix [0, window).
+  bool all_gap_free(NodeKey from, NodeKey to, PacketId window) const;
+
+  const RecoveryStats& stats() const { return stats_; }
+
+  const RecoveryOptions& options() const { return options_; }
+
+ private:
+  struct Repair {
+    NodeKey sender = 0;
+    std::int32_t tag = 0;
+    Slot due = 0;
+    bool in_flight = false;
+  };
+  struct ParityWindow {
+    NodeKey from = 0;
+    NodeKey to = 0;
+    std::vector<Tx> data;  // the window's data transmissions, in order
+  };
+
+  bool holds(NodeKey node, PacketId p) const;
+  bool in_flight(NodeKey to, PacketId p) const;
+  void set_in_flight(NodeKey to, PacketId p, bool value);
+  Slot nack_due(Slot detect_slot, NodeKey from, NodeKey to) const;
+  void schedule_repair(NodeKey to, PacketId p, NodeKey sender,
+                       std::int32_t tag, Slot due);
+  void mark_outstanding(NodeKey to, std::int32_t tag, PacketId p);
+  void detect_dense_skips(Slot t, const Tx& tx);
+  void sweep_aged_gaps(Slot t);
+  void emit_repairs(Slot t, std::vector<Tx>& out);
+  void emit_parity(Slot t, std::vector<Tx>& out);
+  void fec_accumulate(const Tx& tx);
+  void handle_parity_arrival(Slot t, const Tx& tx);
+  void recheck_unresolved(Slot t, NodeKey node);
+  bool try_decode(Slot t, PacketId parity_id);
+  /// Common data-arrival path for real, repaired, and FEC-decoded packets:
+  /// tracker update, repair bookkeeping, in-order release into the inner
+  /// protocol.
+  void ingest_data(Slot t, const Tx& tx);
+  void release_in_order(Slot t, const Tx& tx);
+  void flush_held_back(Slot t, NodeKey to, std::int32_t tag);
+  bool recv_headroom(Slot arrive, NodeKey to) const;
+  void note_planned_arrival(Slot arrive, NodeKey to);
+
+  const net::Topology& topology_;
+  sim::Protocol& inner_;
+  RecoveryOptions options_;
+  RecoveryStats stats_;
+
+  std::vector<SequenceTracker> trackers_;           // per node
+  std::vector<std::vector<NodeKey>> senders_seen_;  // per receiver, in order
+  std::vector<sim::DeliveryObserver*> observers_;
+
+  std::unordered_set<std::uint64_t> in_flight_;     // (to, packet) keys
+  std::map<std::pair<NodeKey, PacketId>, Repair> pending_;
+
+  // In-order release state, per (receiver, tag) substream.
+  std::map<std::pair<NodeKey, std::int32_t>, std::set<PacketId>> outstanding_;
+  std::map<std::pair<NodeKey, PacketId>, std::int32_t> outstanding_tag_;
+  std::map<std::pair<NodeKey, std::int32_t>, std::map<PacketId, Tx>>
+      held_back_;
+
+  // Dense-link skip detection: newest inner-emitted id per (from, to).
+  std::map<std::pair<NodeKey, NodeKey>, PacketId> last_emitted_;
+
+  // Aged-gap sweep: slot at which each open gap was first observed.
+  std::map<std::pair<NodeKey, PacketId>, Slot> gap_seen_;
+
+  // FEC state.
+  std::map<std::pair<NodeKey, NodeKey>, std::vector<Tx>> fec_acc_;
+  std::deque<std::pair<PacketId, ParityWindow>> parity_queue_;
+  std::map<PacketId, ParityWindow> parity_windows_;   // sent, undecoded
+  std::vector<std::vector<PacketId>> unresolved_;     // per node: parity ids
+  PacketId next_parity_id_ = sim::kControlIdBase;
+
+  // Per-slot capacity accounting (residual capacity for repairs/parity).
+  std::vector<int> send_used_;
+  std::map<Slot, std::vector<int>> planned_recv_;
+  std::vector<Tx> inner_scratch_;
+};
+
+}  // namespace streamcast::loss

@@ -1,0 +1,82 @@
+#include "src/metrics/continuity.hpp"
+
+#include <cassert>
+
+#include "src/metrics/delay.hpp"
+
+namespace streamcast::metrics {
+
+ContinuityRecorder::ContinuityRecorder(NodeKey nodes, PacketId window)
+    : window_(window) {
+  assert(nodes >= 1);
+  assert(window >= 1);
+  arrival_.assign(static_cast<std::size_t>(nodes),
+                  std::vector<Slot>(static_cast<std::size_t>(window),
+                                    kNeverArrived));
+}
+
+void ContinuityRecorder::on_delivery(const Delivery& d) {
+  if (d.tx.packet >= sim::kControlIdBase) {
+    ++parity_;
+    return;
+  }
+  if (d.tx.retransmit) {
+    ++retransmissions_;
+  } else {
+    ++data_;
+  }
+  if (d.tx.packet >= window_) return;
+  if (d.tx.to < 0 || static_cast<std::size_t>(d.tx.to) >= arrival_.size()) {
+    return;
+  }
+  auto& cell = arrival_[static_cast<std::size_t>(d.tx.to)]
+                       [static_cast<std::size_t>(d.tx.packet)];
+  if (cell == kNeverArrived || d.received < cell) cell = d.received;
+}
+
+Slot ContinuityRecorder::arrival(NodeKey node, PacketId p) const {
+  assert(p >= 0 && p < window_);
+  return arrival_[static_cast<std::size_t>(node)][static_cast<std::size_t>(p)];
+}
+
+ContinuityRecorder::Report ContinuityRecorder::report(NodeKey node,
+                                                      Slot playback_start,
+                                                      Slot horizon) const {
+  const auto& row = arrival_[static_cast<std::size_t>(node)];
+  Report r;
+  Slot t = playback_start;
+  PacketId gap_run = 0;
+  for (PacketId j = 0; j < window_; ++j) {
+    const Slot got = row[static_cast<std::size_t>(j)];
+    if (got == kNeverArrived || got >= horizon) {
+      // Never decodable within the run: playback skips the packet.
+      ++r.undecodable;
+      ++gap_run;
+      continue;
+    }
+    if (gap_run > 0) {
+      r.gap_lengths.push_back(gap_run);
+      gap_run = 0;
+    }
+    if (got > t) {
+      // Wait for the packet. Consecutive packets that both stall are
+      // separated by the first one playing, so each wait is its own stall
+      // event; the slots spent waiting for one packet count once.
+      ++r.stalls;
+      r.stall_slots += got - t;
+      t = got;
+    }
+    ++t;  // the packet plays during slot t
+  }
+  if (gap_run > 0) r.gap_lengths.push_back(gap_run);
+  r.finish_slot = t;
+  return r;
+}
+
+double ContinuityRecorder::redundancy_overhead() const {
+  if (data_ == 0) return 0.0;
+  return static_cast<double>(retransmissions_ + parity_) /
+         static_cast<double>(data_);
+}
+
+}  // namespace streamcast::metrics

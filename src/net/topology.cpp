@@ -99,4 +99,12 @@ int ClusteredTopology::recv_capacity(NodeKey n) const {
   return n == 0 ? 0 : 1;
 }
 
+ProvisionedTopology::ProvisionedTopology(const Topology& base, int extra_send,
+                                         int extra_recv)
+    : base_(base), extra_send_(extra_send), extra_recv_(extra_recv) {
+  if (extra_send < 0 || extra_recv < 0) {
+    throw std::invalid_argument("capacity headroom must be >= 0");
+  }
+}
+
 }  // namespace streamcast::net

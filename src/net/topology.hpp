@@ -99,4 +99,39 @@ class ClusteredTopology final : public Topology {
   Slot t_i_;
 };
 
+/// Capacity-headroom decorator for lossy runs. The paper's schedules consume
+/// every node's capacity exactly, so an erasure channel leaves zero slack for
+/// repair traffic: a stream at rate 1 into a receive capacity of 1 can never
+/// also carry retransmissions or parity. ProvisionedTopology grants each node
+/// `extra_send` / `extra_recv` additional packets per slot on top of the base
+/// topology — the provisioning cost of surviving loss, reported alongside the
+/// delay and buffer costs by the loss benches. Latencies are unchanged, and a
+/// lossless run never uses the headroom, so results at loss rate 0 are
+/// bit-identical to the base topology.
+class ProvisionedTopology final : public Topology {
+ public:
+  ProvisionedTopology(const Topology& base, int extra_send, int extra_recv);
+
+  NodeKey size() const override { return base_.size(); }
+  Slot latency(NodeKey from, NodeKey to) const override {
+    return base_.latency(from, to);
+  }
+  int send_capacity(NodeKey n) const override {
+    return base_.send_capacity(n) + extra_send_;
+  }
+  int recv_capacity(NodeKey n) const override {
+    const int cap = base_.recv_capacity(n);
+    // Nodes that cannot receive at all (sources) stay that way: repair
+    // traffic must never flow "up" into the stream origin.
+    return cap == 0 ? 0 : cap + extra_recv_;
+  }
+
+  const Topology& base() const { return base_; }
+
+ private:
+  const Topology& base_;
+  int extra_send_;
+  int extra_recv_;
+};
+
 }  // namespace streamcast::net

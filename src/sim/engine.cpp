@@ -1,7 +1,10 @@
 #include "src/sim/engine.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
+
+#include "src/loss/model.hpp"
 
 namespace streamcast::sim {
 
@@ -26,10 +29,26 @@ Engine::Engine(const net::Topology& topology, Protocol& protocol,
     : topology_(topology), protocol_(protocol), options_(options) {
   send_used_.resize(static_cast<std::size_t>(topology_.size()));
   recv_used_.resize(static_cast<std::size_t>(topology_.size()));
+  ring_.resize(8);
+  ring_mask_ = ring_.size() - 1;
 }
 
 void Engine::run_until(Slot horizon) {
   while (now_ < horizon) step();
+}
+
+void Engine::grow_ring(Slot max_latency) {
+  const auto needed = std::bit_ceil(static_cast<std::size_t>(max_latency));
+  std::vector<std::vector<Delivery>> next(needed);
+  const std::size_t mask = needed - 1;
+  for (auto& bucket : ring_) {
+    for (Delivery& d : bucket) {
+      next[static_cast<std::size_t>(d.received) & mask].push_back(
+          std::move(d));
+    }
+  }
+  ring_ = std::move(next);
+  ring_mask_ = mask;
 }
 
 void Engine::step() {
@@ -52,16 +71,26 @@ void Engine::step() {
     }
     const Slot latency = topology_.latency(tx.from, tx.to);
     assert(latency >= 1);
-    in_flight_[t + latency - 1].push_back(
-        Delivery{.sent = t, .received = t + latency - 1, .tx = tx});
     ++stats_.transmissions;
+    if (tx.retransmit) ++stats_.retransmissions;
+    const Slot arrive = t + latency - 1;
+    if (loss_ != nullptr && loss_->erased(t, tx)) {
+      ++stats_.drops;
+      const Drop drop{.sent = t, .would_arrive = arrive, .tx = tx};
+      for (DeliveryObserver* obs : observers_) obs->on_drop(drop);
+      continue;
+    }
+    if (static_cast<std::size_t>(latency) > ring_.size()) grow_ring(latency);
+    ring_[static_cast<std::size_t>(arrive) & ring_mask_].push_back(
+        Delivery{.sent = t, .received = arrive, .tx = tx});
   }
 
   // Phase 2: complete arrivals scheduled for this slot.
-  const auto bucket = in_flight_.find(t);
-  if (bucket != in_flight_.end()) {
+  auto& bucket = ring_[static_cast<std::size_t>(t) & ring_mask_];
+  if (!bucket.empty()) {
     std::ranges::fill(recv_used_, 0);
-    for (const Delivery& d : bucket->second) {
+    for (const Delivery& d : bucket) {
+      assert(d.received == t);
       auto& used = recv_used_[static_cast<std::size_t>(d.tx.to)];
       if (++used > topology_.recv_capacity(d.tx.to)) {
         violation("receive capacity exceeded", t, d.tx);
@@ -75,7 +104,7 @@ void Engine::step() {
       for (DeliveryObserver* obs : observers_) obs->on_delivery(d);
       protocol_.deliver(t, d.tx);
     }
-    in_flight_.erase(bucket);
+    bucket.clear();
   }
 
   ++now_;

@@ -10,9 +10,15 @@
 // out-of-range keys, duplicate deliveries — throw ProtocolViolation. The
 // paper's correctness proofs (appendix) state exactly these properties; the
 // engine turns them into machine-checked invariants for every scheme.
+//
+// Lossy links: an optional loss::LossModel is consulted once per queued
+// transmission. An erased transmission still charges the sender's capacity
+// (the packet was sent) but never arrives; the drop is counted in
+// EngineStats, reported to observers via on_drop, and otherwise invisible to
+// the receiving side — exactly an erasure channel.
 #pragma once
 
-#include <map>
+#include <cstddef>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -21,6 +27,10 @@
 
 #include "src/net/topology.hpp"
 #include "src/sim/protocol.hpp"
+
+namespace streamcast::loss {
+class LossModel;
+}  // namespace streamcast::loss
 
 namespace streamcast::sim {
 
@@ -34,6 +44,9 @@ class DeliveryObserver {
  public:
   virtual ~DeliveryObserver() = default;
   virtual void on_delivery(const Delivery& d) = 0;
+  /// Called when the loss model erases a transmission. Default: ignore, so
+  /// loss-oblivious recorders keep working unchanged.
+  virtual void on_drop(const Drop&) {}
 };
 
 struct EngineOptions {
@@ -45,6 +58,10 @@ struct EngineOptions {
 struct EngineStats {
   std::int64_t transmissions = 0;
   std::int64_t duplicate_deliveries = 0;
+  /// Transmissions erased by the loss model.
+  std::int64_t drops = 0;
+  /// Transmissions flagged Tx::retransmit (NACK repairs).
+  std::int64_t retransmissions = 0;
 };
 
 class Engine {
@@ -61,18 +78,30 @@ class Engine {
 
   void add_observer(DeliveryObserver& obs) { observers_.push_back(&obs); }
 
+  /// Attaches (or clears, with nullptr) the link erasure model. The engine
+  /// does not own it; it must outlive the run.
+  void set_loss_model(loss::LossModel* model) { loss_ = model; }
+
   const EngineStats& stats() const { return stats_; }
 
  private:
   void step();
+  void grow_ring(Slot max_latency);
 
   const net::Topology& topology_;
   Protocol& protocol_;
   EngineOptions options_;
   Slot now_ = 0;
-  std::map<Slot, std::vector<Delivery>> in_flight_;
+  /// In-flight deliveries, bucketed by arrival slot modulo the ring size.
+  /// The ring always holds at least the largest link latency seen, so any
+  /// two co-resident deliveries with the same bucket share an arrival slot —
+  /// the per-slot std::map this replaces was the hottest lookup of every
+  /// bench.
+  std::vector<std::vector<Delivery>> ring_;
+  std::size_t ring_mask_ = 0;
   std::unordered_set<std::uint64_t> seen_;  // (node, packet) delivery keys
   std::vector<DeliveryObserver*> observers_;
+  loss::LossModel* loss_ = nullptr;
   std::vector<Tx> tx_scratch_;
   std::vector<int> send_used_;
   std::vector<int> recv_used_;

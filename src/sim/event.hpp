@@ -18,6 +18,9 @@ struct Tx {
   /// Protocol-defined stream tag (tree index k for the multi-tree scheme,
   /// cube index for the hypercube chain); purely informational.
   std::int32_t tag = 0;
+  /// True for NACK-driven repair retransmissions issued by the recovery
+  /// layer; the engine counts them separately in EngineStats.
+  bool retransmit = false;
 
   friend bool operator==(const Tx&, const Tx&) = default;
 };
@@ -29,6 +32,17 @@ struct Delivery {
   Tx tx;
 
   friend bool operator==(const Delivery&, const Delivery&) = default;
+};
+
+/// An erased transmission: the link loss model discarded it in flight. The
+/// packet left `tx.from` in slot `sent` and would have been received in slot
+/// `would_arrive`; `tx.to` never sees it.
+struct Drop {
+  Slot sent = 0;
+  Slot would_arrive = 0;
+  Tx tx;
+
+  friend bool operator==(const Drop&, const Drop&) = default;
 };
 
 }  // namespace streamcast::sim

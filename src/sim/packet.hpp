@@ -21,4 +21,10 @@ using NodeKey = std::int32_t;
 inline constexpr NodeKey kNoNode = -1;
 inline constexpr PacketId kNoPacket = -1;
 
+/// Packet ids at or above this value are control traffic (FEC parity, repair
+/// bookkeeping), not positions in the stream. Stream metrics ignore them;
+/// the loss/recovery layer allocates ids from this space so control packets
+/// never collide with data in the engine's duplicate-delivery keys.
+inline constexpr PacketId kControlIdBase = PacketId{1} << 30;
+
 }  // namespace streamcast::sim

@@ -1,0 +1,159 @@
+// Loss model tests: seeded determinism, empirical rates against the closed
+// forms, factory behavior, parameter validation.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "src/loss/model.hpp"
+
+namespace streamcast::loss {
+namespace {
+
+Tx tx(sim::NodeKey from, sim::NodeKey to, sim::PacketId p) {
+  return Tx{.from = from, .to = to, .packet = p, .tag = 0};
+}
+
+TEST(BernoulliLoss, FixedSeedIsDeterministic) {
+  BernoulliLoss a(0.3, 42);
+  BernoulliLoss b(0.3, 42);
+  for (int i = 0; i < 10000; ++i) {
+    const Tx t = tx(i % 7, (i % 7) + 1, i);
+    EXPECT_EQ(a.erased(i, t), b.erased(i, t)) << "trial " << i;
+  }
+}
+
+TEST(BernoulliLoss, DifferentSeedsDiffer) {
+  BernoulliLoss a(0.5, 1);
+  BernoulliLoss b(0.5, 2);
+  int differ = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const Tx t = tx(0, 1, i);
+    if (a.erased(i, t) != b.erased(i, t)) ++differ;
+  }
+  EXPECT_GT(differ, 0);
+}
+
+TEST(BernoulliLoss, EmpiricalRateMatchesParameter) {
+  const double p = 0.1;
+  BernoulliLoss model(p, 7);
+  const int trials = 1'000'000;
+  int drops = 0;
+  for (int i = 0; i < trials; ++i) {
+    if (model.erased(i, tx(0, 1, i))) ++drops;
+  }
+  const double empirical = static_cast<double>(drops) / trials;
+  // sigma = sqrt(p (1-p) / n) ~= 3e-4; 0.002 is > 6 sigma.
+  EXPECT_NEAR(empirical, p, 0.002);
+}
+
+TEST(BernoulliLoss, ZeroRateNeverErases) {
+  BernoulliLoss model(0.0, 9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_FALSE(model.erased(i, tx(0, 1, i)));
+  }
+}
+
+TEST(BernoulliLoss, UnitRateAlwaysErases) {
+  BernoulliLoss model(1.0, 9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_TRUE(model.erased(i, tx(0, 1, i)));
+  }
+}
+
+TEST(BernoulliLoss, InvalidRateThrows) {
+  EXPECT_THROW(BernoulliLoss(-0.1, 0), std::invalid_argument);
+  EXPECT_THROW(BernoulliLoss(1.1, 0), std::invalid_argument);
+}
+
+TEST(GilbertElliottLoss, StationaryRateClosedForm) {
+  GilbertElliottLoss::Params params{
+      .p_enter = 0.05, .p_recover = 0.5, .loss_good = 0.0, .loss_bad = 1.0};
+  GilbertElliottLoss model(params, 0);
+  const double pi_bad = 0.05 / (0.05 + 0.5);
+  EXPECT_DOUBLE_EQ(model.stationary_loss_rate(), pi_bad);
+  EXPECT_DOUBLE_EQ(model.mean_burst_length(), 2.0);
+}
+
+TEST(GilbertElliottLoss, EmpiricalRateMatchesStationary) {
+  GilbertElliottLoss::Params params{
+      .p_enter = 0.05, .p_recover = 0.5, .loss_good = 0.0, .loss_bad = 1.0};
+  GilbertElliottLoss model(params, 123);
+  const int trials = 1'000'000;
+  int drops = 0;
+  for (int i = 0; i < trials; ++i) {
+    if (model.erased(i, tx(0, 1, i))) ++drops;  // one link: one Markov chain
+  }
+  const double empirical = static_cast<double>(drops) / trials;
+  // The chain is positively correlated, so the variance is larger than the
+  // i.i.d. case; 0.01 is still a comfortable margin at 10^6 trials.
+  EXPECT_NEAR(empirical, model.stationary_loss_rate(), 0.01);
+}
+
+TEST(GilbertElliottLoss, ErasuresComeInBursts) {
+  // With loss_bad = 1 and loss_good = 0, erasures are exactly the bad-state
+  // sojourns: mean run length must be near 1 / p_recover.
+  GilbertElliottLoss::Params params{
+      .p_enter = 0.02, .p_recover = 0.25, .loss_good = 0.0, .loss_bad = 1.0};
+  GilbertElliottLoss model(params, 77);
+  int bursts = 0;
+  int burst_drops = 0;
+  bool in_burst = false;
+  for (int i = 0; i < 1'000'000; ++i) {
+    const bool erased = model.erased(i, tx(0, 1, i));
+    if (erased) {
+      ++burst_drops;
+      if (!in_burst) ++bursts;
+    }
+    in_burst = erased;
+  }
+  ASSERT_GT(bursts, 0);
+  const double mean_burst = static_cast<double>(burst_drops) / bursts;
+  EXPECT_NEAR(mean_burst, model.mean_burst_length(), 0.25);
+}
+
+TEST(GilbertElliottLoss, PerLinkChainsAreIndependentAndDeterministic) {
+  GilbertElliottLoss::Params params{
+      .p_enter = 0.1, .p_recover = 0.3, .loss_good = 0.0, .loss_bad = 1.0};
+  GilbertElliottLoss a(params, 5);
+  GilbertElliottLoss b(params, 5);
+  // Interleaving link (0,1) with traffic on link (2,3) must not change what
+  // link (0,1) sees, and identical seeds reproduce exactly.
+  std::vector<bool> with_interleave;
+  for (int i = 0; i < 2000; ++i) {
+    with_interleave.push_back(a.erased(i, tx(0, 1, i)));
+    a.erased(i, tx(2, 3, i));
+  }
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_EQ(b.erased(i, tx(0, 1, i)),
+              with_interleave[static_cast<std::size_t>(i)])
+        << "trial " << i;
+  }
+}
+
+TEST(GilbertElliottLoss, InvalidParamsThrow) {
+  GilbertElliottLoss::Params p;
+  p.p_recover = 0.0;  // bad state would be absorbing
+  EXPECT_THROW(GilbertElliottLoss(p, 0), std::invalid_argument);
+  p = {};
+  p.p_enter = -0.5;
+  EXPECT_THROW(GilbertElliottLoss(p, 0), std::invalid_argument);
+  p = {};
+  p.loss_bad = 2.0;
+  EXPECT_THROW(GilbertElliottLoss(p, 0), std::invalid_argument);
+}
+
+TEST(MakeModel, FactoryDispatch) {
+  EXPECT_EQ(make_model(ErasureKind::kNone, 0.5, {}, 0), nullptr);
+  auto bern = make_model(ErasureKind::kBernoulli, 0.25, {}, 1);
+  ASSERT_NE(bern, nullptr);
+  EXPECT_NE(dynamic_cast<BernoulliLoss*>(bern.get()), nullptr);
+  auto ge = make_model(ErasureKind::kGilbertElliott, 0.0,
+                       {.p_enter = 0.1, .p_recover = 0.4}, 1);
+  ASSERT_NE(ge, nullptr);
+  EXPECT_NE(dynamic_cast<GilbertElliottLoss*>(ge.get()), nullptr);
+}
+
+}  // namespace
+}  // namespace streamcast::loss

@@ -1,7 +1,12 @@
 // Engine tests: latency semantics, capacity enforcement, duplicate
-// detection, observer dispatch.
+// detection, observer dispatch, loss hooks, in-flight ring growth.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "src/loss/model.hpp"
 #include "src/net/topology.hpp"
 #include "src/sim/engine.hpp"
 #include "src/sim/trace.hpp"
@@ -163,6 +168,91 @@ TEST(Engine, RunUntilIsResumable) {
   engine.run_until(5);
   EXPECT_EQ(engine.now(), 5);
   EXPECT_EQ(proto.delivered.size(), 1u);
+}
+
+/// Loss model for tests: erases transmissions of the listed packet ids.
+class DropListed final : public loss::LossModel {
+ public:
+  explicit DropListed(std::vector<PacketId> ids) : ids_(std::move(ids)) {}
+  bool erased(Slot, const Tx& t) override {
+    return std::find(ids_.begin(), ids_.end(), t.packet) != ids_.end();
+  }
+
+ private:
+  std::vector<PacketId> ids_;
+};
+
+TEST(Engine, LossModelDropsAreCountedAndReported) {
+  net::UniformCluster topo(3, 2);
+  Scripted proto;
+  proto.at(0, tx(0, 1, 0));
+  proto.at(0, tx(0, 2, 1));
+  proto.at(1, tx(1, 2, 2));
+  DropListed model({1});
+  Engine engine(topo, proto);
+  engine.set_loss_model(&model);
+  Trace trace;
+  engine.add_observer(trace);
+  engine.run_until(3);
+
+  EXPECT_EQ(engine.stats().transmissions, 3);  // the erased send still counts
+  EXPECT_EQ(engine.stats().drops, 1);
+  EXPECT_EQ(proto.delivered.size(), 2u);  // packet 1 never arrived
+  EXPECT_EQ(trace.all().size(), 2u);
+  ASSERT_EQ(trace.drops().size(), 1u);
+  EXPECT_EQ(trace.drops()[0].tx.packet, 1);
+  EXPECT_EQ(trace.drops()[0].sent, 0);
+  EXPECT_EQ(trace.drops()[0].would_arrive, 0);
+}
+
+TEST(Engine, DroppedPacketCanBeSentAgain) {
+  // An erased transmission never reached the duplicate filter: resending the
+  // same (node, packet) later must be legal.
+  net::UniformCluster topo(3, 2);
+  Scripted proto;
+  proto.at(0, tx(0, 1, 0));
+  proto.at(1, tx(0, 1, 0));
+  Engine engine(topo, proto);
+  DropListed first_only({0});
+  engine.set_loss_model(&first_only);
+  engine.run_until(1);
+  engine.set_loss_model(nullptr);
+  EXPECT_NO_THROW(engine.run_until(2));
+  EXPECT_EQ(engine.stats().drops, 1);
+  EXPECT_EQ(proto.delivered.size(), 1u);
+}
+
+TEST(Engine, RetransmitFlagIsCounted) {
+  net::UniformCluster topo(3, 2);
+  Scripted proto;
+  Tx repair = tx(0, 1, 0);
+  repair.retransmit = true;
+  proto.at(0, repair);
+  proto.at(0, tx(0, 2, 1));
+  Engine engine(topo, proto);
+  engine.run_until(1);
+  EXPECT_EQ(engine.stats().transmissions, 2);
+  EXPECT_EQ(engine.stats().retransmissions, 1);
+}
+
+TEST(Engine, RingGrowsToCoverLargeLatencies) {
+  // T_c = 50 exceeds the initial ring size; the in-flight ring must grow and
+  // still deliver at the exact arrival slot.
+  net::ClusteredTopology topo({{.n_receivers = 2}, {.n_receivers = 2}},
+                              /*big_d=*/3, /*small_d=*/2, /*t_c=*/50);
+  Scripted proto;
+  proto.at(0, tx(topo.super_node(0), topo.super_node(1), 7));
+  proto.at(3, tx(0, topo.receiver(0, 1), 8));  // unit-latency send interleaved
+  Engine engine(topo, proto);
+  Recorder rec;
+  engine.add_observer(rec);
+  engine.run_until(49);
+  ASSERT_EQ(rec.all.size(), 1u);
+  EXPECT_EQ(rec.all[0].tx.packet, 8);
+  engine.run_until(50);
+  ASSERT_EQ(rec.all.size(), 2u);
+  EXPECT_EQ(rec.all[1].tx.packet, 7);
+  EXPECT_EQ(rec.all[1].received, 49);
 }
 
 TEST(Trace, QueriesBySenderReceiverAndSlot) {
