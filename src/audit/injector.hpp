@@ -1,0 +1,44 @@
+// Test-only fault injection: protocol decorators that deliberately break an
+// invariant so the audit layer's detection can itself be tested end-to-end.
+// Paired with EngineOptions::enforce = false, an injected fault flows through
+// the engine untouched and must be caught by the InvariantAuditor with a
+// precise AuditReport — the audited grid sweep's negative control.
+#pragma once
+
+#include "src/sim/protocol.hpp"
+
+namespace streamcast::audit {
+
+using sim::PacketId;
+using sim::Slot;
+
+/// Duplicates transmissions of the wrapped protocol, over-sending on one
+/// link: in slot `at`, the first transmission the protocol emits is queued
+/// `copies` extra times. The duplicate breaks the sender's capacity (and,
+/// being byte-identical, collides on the link and arrives as a duplicate).
+class OverSendInjector final : public sim::Protocol {
+ public:
+  OverSendInjector(sim::Protocol& inner, Slot at, int copies = 1)
+      : inner_(inner), at_(at), copies_(copies) {}
+
+  void transmit(Slot t, std::vector<sim::Tx>& out) override;
+  /// Forwards deliveries, swallowing the injected duplicates so the wrapped
+  /// protocol's own state stays consistent — only the engine/auditor see the
+  /// fault.
+  void deliver(Slot t, const sim::Tx& tx) override;
+
+  /// True once the fault was actually injected (the wrapped protocol did
+  /// transmit in slot `at`).
+  bool fired() const { return fired_; }
+
+ private:
+  sim::Protocol& inner_;
+  Slot at_;
+  int copies_;
+  bool fired_ = false;
+  sim::Tx injected_{};
+  int pending_dupes_ = 0;
+  int seen_injected_ = 0;
+};
+
+}  // namespace streamcast::audit

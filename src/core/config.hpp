@@ -53,6 +53,15 @@ struct LossConfig {
   Slot playback_start = -1;
 };
 
+/// Compile-time default for SessionConfig::audit: true when the library is
+/// built with -DSTREAMCAST_AUDIT=ON (the `audit` preset), so the full test
+/// suite and benches run under the invariant auditor without source changes.
+#ifdef STREAMCAST_AUDIT_DEFAULT
+inline constexpr bool kAuditDefault = true;
+#else
+inline constexpr bool kAuditDefault = false;
+#endif
+
 struct SessionConfig {
   Scheme scheme = Scheme::kMultiTreeGreedy;
   /// Receivers in the cluster (per cluster, when clusters > 1).
@@ -77,6 +86,13 @@ struct SessionConfig {
 
   // --- lossy links (clusters == 1 only) ------------------------------------
   LossConfig loss{};
+
+  /// Run under the audit::InvariantAuditor: every slot's capacity use,
+  /// schedule collisions, latency pacing, duplicate-freedom, and the
+  /// scheme's claimed delay/buffer envelopes are re-checked from the
+  /// observer stream, and the session throws sim::ProtocolViolation with a
+  /// structured AuditReport if any invariant fails.
+  bool audit = kAuditDefault;
 };
 
 }  // namespace streamcast::core

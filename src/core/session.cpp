@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 
+#include "src/audit/auditor.hpp"
 #include "src/baseline/chain.hpp"
 #include "src/baseline/single_tree.hpp"
 #include "src/hypercube/analysis.hpp"
@@ -91,7 +93,28 @@ QosReport run_multicluster(const SessionConfig& config) {
   metrics::NeighborRecorder neighbors(topo.size());
   engine.add_observer(delays);
   engine.add_observer(neighbors);
+  std::optional<audit::InvariantAuditor> auditor;
+  if (config.audit) {
+    // Cross-cluster envelope: the structural bound covers the backbone hops
+    // (T_c pacing is checked per delivery via the latency invariant) and
+    // doubles as the buffer envelope — a receiver buffers at most its
+    // playback delay's worth of the rate-1 stream. Only plain receivers are
+    // window-audited; supers and local roots relay.
+    audit::AuditOptions opts;
+    opts.window = window;
+    opts.delay_bound = bound;
+    opts.buffer_bound = bound;
+    opts.require_complete = true;
+    for (int c = 0; c < config.clusters; ++c) {
+      for (NodeKey x = 1; x <= n; ++x) {
+        opts.audited_nodes.push_back(topo.receiver(c, x));
+      }
+    }
+    auditor.emplace(topo, std::move(opts));
+    engine.add_observer(*auditor);
+  }
   engine.run_until(window + bound + 8);
+  if (auditor) auditor->require_clean();
 
   QosReport report;
   report.scheme = std::string(scheme_name(config.scheme)) + " x" +
@@ -201,6 +224,61 @@ SchemePieces build_scheme(const SessionConfig& config) {
   return p;
 }
 
+/// The scheme's claimed QoS envelopes (the bounds the paper proves; DESIGN.md
+/// §7) packaged as auditor options. The audited run re-checks them
+/// mechanically: Theorem 2's h*d delay/buffer for the multi-tree (live modes
+/// shift the schedule by up to d slots), Propositions 1-2's O(1) buffers for
+/// the hypercube schemes, and the closed forms for the baselines.
+audit::AuditOptions audit_envelope(const SessionConfig& config,
+                                   PacketId window) {
+  audit::AuditOptions o;
+  o.window = window;
+  Slot delay = -1;
+  std::int64_t buffer = -1;
+  switch (config.scheme) {
+    case Scheme::kMultiTreeStructured:
+    case Scheme::kMultiTreeGreedy: {
+      delay = multitree::worst_delay_bound(config.n, config.d);
+      buffer = delay;
+      if (config.mode != multitree::StreamMode::kPreRecorded) {
+        delay += config.d;
+        buffer += config.d;
+      }
+      break;
+    }
+    case Scheme::kHypercube:
+      delay = hypercube::worst_delay(config.n);
+      buffer = 3;  // Propositions 1-2: O(1), measured <= 3 on every grid
+      break;
+    case Scheme::kHypercubeGrouped:
+      delay = hypercube::worst_delay_grouped(config.n, config.d);
+      buffer = 3;
+      break;
+    case Scheme::kChain:
+      delay = baseline::chain_worst_delay(config.n);
+      buffer = 1;  // perfectly paced: play each packet the slot it arrives
+      break;
+    case Scheme::kSingleTree:
+      delay = baseline::single_tree_worst_delay(config.n, config.d);
+      buffer = delay;
+      break;
+  }
+  const bool lossy = config.loss.model != loss::ErasureKind::kNone;
+  o.buffer_bound = buffer;
+  if (lossy) {
+    // Repairs may legitimately exceed the deterministic delay bound; the
+    // buffer check keeps running with gap-backlog slack, and window
+    // completeness is accounted in LossSummary instead of violated.
+    o.delay_bound = -1;
+    o.gap_backlog_slack = true;
+    o.require_complete = false;
+  } else {
+    o.delay_bound = delay;
+    o.require_complete = true;
+  }
+  return o;
+}
+
 }  // namespace
 
 QosReport StreamingSession::run() const {
@@ -221,7 +299,13 @@ QosReport StreamingSession::run() const {
   metrics::NeighborRecorder neighbors(n + 1);
   engine.add_observer(delays);
   engine.add_observer(neighbors);
+  std::optional<audit::InvariantAuditor> auditor;
+  if (config_.audit) {
+    auditor.emplace(*pieces.topology, audit_envelope(config_, window));
+    engine.add_observer(*auditor);
+  }
   engine.run_until(window + slack);
+  if (auditor) auditor->require_clean();
 
   QosReport report;
   report.scheme = scheme_name(config_.scheme);
@@ -283,6 +367,18 @@ LossRunResult StreamingSession::run_lossy() const {
   engine.set_loss_model(model.get());
   engine.add_observer(recovery);  // drop reports + post-repair fan-out
 
+  // The auditor watches the *physical* stream (pre-repair), against the
+  // provisioned capacities: repair traffic must fit the headroom, collisions
+  // and pacing must hold even mid-recovery. FEC-decoded packets never cross
+  // a link, so nodes completed by decode alone are skipped by the window
+  // checks (require_complete is off; the session accounts incompleteness in
+  // LossSummary).
+  std::optional<audit::InvariantAuditor> auditor;
+  if (config_.audit) {
+    auditor.emplace(topology, audit_envelope(config_, window));
+    engine.add_observer(*auditor);
+  }
+
   // Metrics observe the post-repair stream (repairs and FEC decodes count
   // as arrivals), so they attach to the recovery layer, not the engine.
   metrics::DelayRecorder delays(n + 1, window);
@@ -304,6 +400,7 @@ LossRunResult StreamingSession::run_lossy() const {
     engine.run_until(horizon + drained);
   }
   const Slot end = horizon + drained;
+  if (auditor) auditor->require_clean();
 
   LossRunResult result;
   QosReport& report = result.qos;

@@ -17,6 +17,9 @@
 //   graph::two_interior_disjoint_trees — exact solver + E4SS reduction.
 #pragma once
 
+#include "src/audit/auditor.hpp"             // IWYU pragma: export
+#include "src/audit/injector.hpp"            // IWYU pragma: export
+#include "src/audit/report.hpp"              // IWYU pragma: export
 #include "src/baseline/chain.hpp"            // IWYU pragma: export
 #include "src/baseline/single_tree.hpp"      // IWYU pragma: export
 #include "src/core/config.hpp"               // IWYU pragma: export

@@ -66,7 +66,7 @@ void Engine::step() {
     if (tx.from == tx.to) violation("self transmission", t, tx);
     if (tx.packet < 0) violation("negative packet id", t, tx);
     auto& used = send_used_[static_cast<std::size_t>(tx.from)];
-    if (++used > topology_.send_capacity(tx.from)) {
+    if (++used > topology_.send_capacity(tx.from) && options_.enforce) {
       violation("send capacity exceeded", t, tx);
     }
     const Slot latency = topology_.latency(tx.from, tx.to);
@@ -92,12 +92,12 @@ void Engine::step() {
     for (const Delivery& d : bucket) {
       assert(d.received == t);
       auto& used = recv_used_[static_cast<std::size_t>(d.tx.to)];
-      if (++used > topology_.recv_capacity(d.tx.to)) {
+      if (++used > topology_.recv_capacity(d.tx.to) && options_.enforce) {
         violation("receive capacity exceeded", t, d.tx);
       }
       if (!seen_.insert(delivery_key(d.tx.to, d.tx.packet)).second) {
         ++stats_.duplicate_deliveries;
-        if (options_.forbid_duplicates) {
+        if (options_.forbid_duplicates && options_.enforce) {
           violation("duplicate delivery", t, d.tx);
         }
       }

@@ -53,6 +53,13 @@ struct EngineOptions {
   /// Reject delivering the same packet to the same node twice. All of the
   /// paper's schemes are duplicate-free; churn runs relax this.
   bool forbid_duplicates = true;
+  /// Throw ProtocolViolation on capacity/duplicate violations. Audit tests
+  /// switch this off so an injected violation reaches the observers and must
+  /// be caught by the InvariantAuditor, proving the auditor is an independent
+  /// checker rather than a mirror of the engine's own guards. Range, self-
+  /// send and negative-id violations always throw: they are memory-safety
+  /// guards, not schedule properties.
+  bool enforce = true;
 };
 
 struct EngineStats {

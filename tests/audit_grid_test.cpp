@@ -1,0 +1,138 @@
+// The audited grid sweep: every scheme, over an (N, d) grid — plus a
+// (clusters, T_c) grid for the super-tree composition and lossy runs for the
+// recovery path — executes under SessionConfig::audit = true, which attaches
+// the InvariantAuditor and throws with a structured AuditReport if any of
+// the paper's invariants (capacity, collision-freedom, T_c pacing,
+// duplicate-freedom, Thm 2 / Prop 1-2 delay & buffer envelopes) breaks.
+#include <gtest/gtest.h>
+
+#include "src/core/streamcast.hpp"
+
+namespace streamcast {
+namespace {
+
+using core::Scheme;
+using core::SessionConfig;
+using core::StreamingSession;
+
+TEST(AuditGrid, MultiTreeSchemesHoldTheorem2Envelopes) {
+  for (const Scheme scheme :
+       {Scheme::kMultiTreeStructured, Scheme::kMultiTreeGreedy}) {
+    for (const sim::NodeKey n : {5, 14, 40, 63}) {
+      for (const int d : {2, 3, 4}) {
+        SessionConfig cfg{.scheme = scheme, .n = n, .d = d, .audit = true};
+        EXPECT_NO_THROW(StreamingSession(cfg).run())
+            << core::scheme_name(scheme) << " N=" << n << " d=" << d;
+      }
+    }
+  }
+}
+
+TEST(AuditGrid, MultiTreeLiveModesHoldShiftedEnvelopes) {
+  for (const auto mode : {multitree::StreamMode::kLivePrebuffered,
+                          multitree::StreamMode::kLivePipelined}) {
+    for (const sim::NodeKey n : {13, 40}) {
+      for (const int d : {2, 3}) {
+        SessionConfig cfg{.scheme = Scheme::kMultiTreeGreedy,
+                          .n = n,
+                          .d = d,
+                          .mode = mode,
+                          .audit = true};
+        EXPECT_NO_THROW(StreamingSession(cfg).run()) << "N=" << n
+                                                     << " d=" << d;
+      }
+    }
+  }
+}
+
+TEST(AuditGrid, HypercubeSchemesHoldConstantBufferEnvelope) {
+  for (const sim::NodeKey n : {7, 25, 63, 127}) {
+    SessionConfig cfg{.scheme = Scheme::kHypercube, .n = n, .d = 1,
+                      .audit = true};
+    EXPECT_NO_THROW(StreamingSession(cfg).run()) << "N=" << n;
+  }
+  for (const sim::NodeKey n : {24, 90}) {
+    for (const int d : {2, 3}) {
+      SessionConfig cfg{.scheme = Scheme::kHypercubeGrouped,
+                        .n = n,
+                        .d = d,
+                        .audit = true};
+      EXPECT_NO_THROW(StreamingSession(cfg).run()) << "N=" << n << " d=" << d;
+    }
+  }
+}
+
+TEST(AuditGrid, BaselinesHoldClosedFormEnvelopes) {
+  for (const sim::NodeKey n : {5, 20, 50}) {
+    SessionConfig chain{.scheme = Scheme::kChain, .n = n, .d = 1,
+                        .audit = true};
+    EXPECT_NO_THROW(StreamingSession(chain).run()) << "chain N=" << n;
+    SessionConfig tree{.scheme = Scheme::kSingleTree, .n = n, .d = 2,
+                       .audit = true};
+    EXPECT_NO_THROW(StreamingSession(tree).run()) << "single-tree N=" << n;
+  }
+}
+
+TEST(AuditGrid, SuperTreeCompositionHoldsUnderTcSweep) {
+  for (const int clusters : {3, 6}) {
+    for (const sim::Slot t_c : {2, 8, 16}) {
+      SessionConfig mt{.scheme = Scheme::kMultiTreeGreedy,
+                       .n = 10,
+                       .d = 2,
+                       .clusters = clusters,
+                       .big_d = 3,
+                       .t_c = t_c,
+                       .audit = true};
+      EXPECT_NO_THROW(StreamingSession(mt).run())
+          << "multitree clusters=" << clusters << " T_c=" << t_c;
+      SessionConfig hc{.scheme = Scheme::kHypercube,
+                       .n = 7,
+                       .d = 1,
+                       .clusters = clusters,
+                       .big_d = 3,
+                       .t_c = t_c,
+                       .audit = true};
+      EXPECT_NO_THROW(StreamingSession(hc).run())
+          << "hypercube clusters=" << clusters << " T_c=" << t_c;
+    }
+  }
+}
+
+TEST(AuditGrid, LossyRecoveryRunsStayWithinProvisionedInvariants) {
+  for (const Scheme scheme : {Scheme::kMultiTreeGreedy, Scheme::kChain}) {
+    for (const double rate : {0.0, 0.02, 0.1}) {
+      SessionConfig cfg{.scheme = scheme, .n = 30, .d = 2, .audit = true};
+      cfg.loss.model = loss::ErasureKind::kBernoulli;
+      cfg.loss.rate = rate;
+      ASSERT_NO_THROW({
+        const auto result = StreamingSession(cfg).run_lossy();
+        if (rate > 0) {
+          EXPECT_GT(result.loss.drops, 0);
+        }
+      }) << core::scheme_name(scheme)
+         << " p=" << rate;
+    }
+  }
+  // FEC path: decoded packets never cross a link; the physical-stream audit
+  // must still hold every capacity/pacing invariant.
+  SessionConfig fec{.scheme = Scheme::kMultiTreeGreedy, .n = 30, .d = 2,
+                    .audit = true};
+  fec.loss.model = loss::ErasureKind::kBernoulli;
+  fec.loss.rate = 0.05;
+  fec.loss.recovery = loss::RecoveryMode::kFec;
+  EXPECT_NO_THROW(StreamingSession(fec).run_lossy());
+}
+
+TEST(AuditGrid, AuditedRunMatchesUnauditedReport) {
+  SessionConfig cfg{.scheme = Scheme::kMultiTreeGreedy, .n = 40, .d = 3};
+  cfg.audit = false;
+  const auto plain = StreamingSession(cfg).run();
+  cfg.audit = true;
+  const auto audited = StreamingSession(cfg).run();
+  EXPECT_EQ(plain.worst_delay, audited.worst_delay);
+  EXPECT_EQ(plain.max_buffer, audited.max_buffer);
+  EXPECT_EQ(plain.transmissions, audited.transmissions);
+}
+
+}  // namespace
+}  // namespace streamcast

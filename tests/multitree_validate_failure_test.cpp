@@ -1,0 +1,110 @@
+// Failure-path coverage for validate_forest / validate_greedy_parity: each
+// of the four documented corruption modes (uninstalled tree, dummy interior,
+// node interior twice, child-index collision) plus the greedy parity check
+// must be reported with its specific error string — the validators are the
+// audit layer's structural counterpart, so their *negative* behavior is as
+// load-bearing as the positive one.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/multitree/forest.hpp"
+#include "src/multitree/greedy.hpp"
+#include "src/multitree/validate.hpp"
+
+namespace streamcast::multitree {
+namespace {
+
+bool mentions(const ValidationReport& report, const std::string& needle) {
+  return std::ranges::any_of(report.errors, [&](const std::string& e) {
+    return e.find(needle) != std::string::npos;
+  });
+}
+
+/// Swaps the nodes at two positions of tree k and reinstalls it (the swap
+/// preserves the permutation property set_tree enforces).
+void swap_positions(Forest& forest, int k, NodeKey pos_a, NodeKey pos_b) {
+  std::vector<NodeKey> tree = forest.tree(k);
+  std::swap(tree[static_cast<std::size_t>(pos_a)],
+            tree[static_cast<std::size_t>(pos_b)]);
+  forest.set_tree(k, std::move(tree));
+}
+
+TEST(ValidateFailure, UninstalledTreeReported) {
+  Forest empty(5, 2);  // trees never installed
+  const ValidationReport report = validate_forest(empty);
+  ASSERT_FALSE(report.ok);
+  EXPECT_TRUE(mentions(report, "tree 0 not installed"))
+      << report.errors.front();
+}
+
+TEST(ValidateFailure, DummyInteriorReported) {
+  // N = 11, d = 2 pads to 12: node 12 is a dummy and must stay a leaf.
+  Forest forest = build_greedy(11, 2);
+  ASSERT_TRUE(forest.is_dummy(12));
+  const NodeKey dummy_pos = forest.position_of(0, 12);
+  ASSERT_FALSE(forest.is_interior_pos(dummy_pos));
+  swap_positions(forest, 0, dummy_pos, /*interior=*/1);
+  const ValidationReport report = validate_forest(forest);
+  ASSERT_FALSE(report.ok);
+  EXPECT_TRUE(mentions(report, "dummy is interior"));
+  EXPECT_TRUE(mentions(report, "node 12"));
+}
+
+TEST(ValidateFailure, InteriorInTwoTreesReported) {
+  // N = 12, d = 2 is dummy-free. Moving a node that is interior in tree 1
+  // onto an interior position of tree 0 makes it interior twice.
+  Forest forest = build_greedy(12, 2);
+  NodeKey victim = 0;
+  for (NodeKey node = 1; node <= forest.n_pad(); ++node) {
+    if (forest.interior_tree_of(node) == 1) {
+      victim = node;
+      break;
+    }
+  }
+  ASSERT_NE(victim, 0);
+  const NodeKey leaf_pos = forest.position_of(0, victim);
+  ASSERT_FALSE(forest.is_interior_pos(leaf_pos));
+  swap_positions(forest, 0, leaf_pos, /*interior=*/1);
+  const ValidationReport report = validate_forest(forest);
+  ASSERT_FALSE(report.ok);
+  EXPECT_TRUE(mentions(report, "node interior in 2 trees"));
+  EXPECT_TRUE(mentions(report, "(node " + std::to_string(victim) + ")"));
+}
+
+TEST(ValidateFailure, ChildIndexCollisionReported) {
+  // Swapping two *leaf* positions with different child indices leaves the
+  // interior structure intact but gives both nodes a repeated child index
+  // across the two trees — exactly the congruence the round-robin schedule
+  // needs (a receiver would get two packets in one slot).
+  Forest forest = build_greedy(12, 2);
+  const NodeKey pos_a = forest.interior() + 1;
+  const NodeKey pos_b = forest.interior() + 2;
+  ASSERT_NE(forest.child_index(pos_a), forest.child_index(pos_b));
+  const NodeKey node_a = forest.node_at(0, pos_a);
+  swap_positions(forest, 0, pos_a, pos_b);
+  const ValidationReport report = validate_forest(forest);
+  ASSERT_FALSE(report.ok);
+  EXPECT_TRUE(mentions(report, "child-index collision mod d"));
+  EXPECT_TRUE(mentions(report, "node " + std::to_string(node_a)));
+}
+
+TEST(ValidateFailure, GreedyParityMismatchReported) {
+  Forest forest = build_greedy(12, 2);
+  ASSERT_TRUE(validate_greedy_parity(forest).ok);
+  swap_positions(forest, 0, forest.interior() + 1, forest.interior() + 2);
+  const ValidationReport report = validate_greedy_parity(forest);
+  ASSERT_FALSE(report.ok);
+  EXPECT_TRUE(mentions(report, "greedy parity slot mismatch"));
+}
+
+TEST(ValidateFailure, PristineForestsPassBothValidators) {
+  const Forest forest = build_greedy(12, 2);
+  EXPECT_TRUE(validate_forest(forest).ok);
+  EXPECT_TRUE(validate_greedy_parity(forest).ok);
+}
+
+}  // namespace
+}  // namespace streamcast::multitree

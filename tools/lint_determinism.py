@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Determinism lint: fail CI on nondeterminism sneaking into simulation code.
+
+The repo's experiments must reproduce bit-for-bit across runs and platforms
+(DESIGN.md §3, EXPERIMENTS.md); every run is seeded through util::Prng. This
+lint enforces the three ways that property historically rots:
+
+  rng        — std::random_device, rand()/srand(), or any std <random> engine
+               (std::mt19937 & friends have platform-dependent distributions;
+               the repo ships util::Prng instead).
+  wallclock  — wall-clock reads (system_clock, time(), gettimeofday,
+               localtime, CLOCK_REALTIME). Monotonic steady_clock is allowed:
+               benches may *measure* durations, they may not let the date
+               into results.
+  unordered-iteration — range-for over a std::unordered_{map,set} variable
+               declared in the same file. Hash iteration order is
+               implementation-defined; iterating it in a simulation or
+               metrics path silently reorders tie-breaks. Keyed lookups are
+               fine; iteration must use an ordered container or a sort.
+
+Suppress a deliberate use with a same-line comment:  // lint: allow(<rule>)
+
+Usage: tools/lint_determinism.py [dir ...]   (default: src tests bench)
+Exit status: 0 clean, 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+SOURCE_SUFFIXES = {".cpp", ".hpp", ".h", ".cc", ".cxx"}
+DEFAULT_DIRS = ["src", "tests", "bench"]
+
+RULES = {
+    "rng": [
+        re.compile(r"std::random_device"),
+        re.compile(r"(?<![\w:])s?rand\s*\("),
+        re.compile(
+            r"std::(mt19937(_64)?|minstd_rand0?|default_random_engine|"
+            r"ranlux\w+|knuth_b)\b"
+        ),
+    ],
+    "wallclock": [
+        re.compile(r"system_clock"),
+        re.compile(r"(?<![\w:])time\s*\(\s*(0|NULL|nullptr)?\s*\)"),
+        re.compile(r"\bgettimeofday\s*\("),
+        re.compile(r"\b(localtime|gmtime|ctime)\s*\("),
+        re.compile(r"CLOCK_REALTIME"),
+    ],
+}
+
+ALLOW = re.compile(r"lint:\s*allow\(([a-z-]+)\)")
+
+UNORDERED_DECL = re.compile(
+    r"std::unordered_(?:map|set|multimap|multiset)\s*<[^;{}()]*>\s+(\w+)\s*[;{=]"
+)
+RANGE_FOR = re.compile(r"for\s*\(.*:\s*&?(\w+(?:_|\b))\s*\)")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out comments and string/char literals, preserving newlines so
+    line numbers survive. A lint: allow() marker is checked against the raw
+    line, so removing comments here is safe."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif c == "/" and nxt == "*":
+            i += 2
+            while i + 1 < n and not (text[i] == "*" and text[i + 1] == "/"):
+                if text[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i += 2
+        elif c in "\"'":
+            quote = c
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    i += 1
+                elif text[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def lint_file(path: Path) -> list[tuple[Path, int, str, str]]:
+    raw_lines = path.read_text(encoding="utf-8").splitlines()
+    code_lines = strip_comments_and_strings(
+        path.read_text(encoding="utf-8")
+    ).splitlines()
+    findings = []
+
+    def allowed(lineno: int, rule: str) -> bool:
+        m = ALLOW.search(raw_lines[lineno - 1])
+        return bool(m) and m.group(1) == rule
+
+    for lineno, line in enumerate(code_lines, start=1):
+        for rule, patterns in RULES.items():
+            if any(p.search(line) for p in patterns) and not allowed(
+                lineno, rule
+            ):
+                findings.append(
+                    (path, lineno, rule, raw_lines[lineno - 1].strip())
+                )
+
+    unordered_vars = {
+        m.group(1) for line in code_lines for m in UNORDERED_DECL.finditer(line)
+    }
+    if unordered_vars:
+        for lineno, line in enumerate(code_lines, start=1):
+            m = RANGE_FOR.search(line)
+            if (
+                m
+                and m.group(1) in unordered_vars
+                and not allowed(lineno, "unordered-iteration")
+            ):
+                findings.append(
+                    (
+                        path,
+                        lineno,
+                        "unordered-iteration",
+                        raw_lines[lineno - 1].strip(),
+                    )
+                )
+    return findings
+
+
+def main(argv: list[str]) -> int:
+    roots = argv[1:] or DEFAULT_DIRS
+    repo = Path(__file__).resolve().parent.parent
+    files = []
+    for root in roots:
+        base = repo / root
+        if not base.is_dir():
+            print(f"lint_determinism: no such directory: {root}",
+                  file=sys.stderr)
+            return 2
+        files.extend(
+            p
+            for p in sorted(base.rglob("*"))
+            if p.suffix in SOURCE_SUFFIXES
+        )
+
+    findings = []
+    for f in files:
+        findings.extend(lint_file(f))
+
+    for path, lineno, rule, snippet in findings:
+        rel = path.relative_to(repo)
+        print(f"{rel}:{lineno}: [{rule}] {snippet}")
+
+    if findings:
+        print(
+            f"lint_determinism: {len(findings)} finding(s) in "
+            f"{len(files)} files",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"lint_determinism: clean ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

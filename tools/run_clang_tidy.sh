@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Runs clang-tidy over every first-party translation unit using the exported
+# compile database. Skips gracefully (exit 0 with a notice) when clang-tidy
+# is not installed, so local builds in minimal containers are not blocked;
+# CI installs clang-tidy and treats findings as failures.
+#
+# Usage: tools/run_clang_tidy.sh [build-dir]   (default: build)
+set -u
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo/build}"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "run_clang_tidy: clang-tidy not installed; skipping (CI runs it)"
+  exit 0
+fi
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "run_clang_tidy: $build_dir/compile_commands.json missing." >&2
+  echo "Configure first: cmake --preset default" >&2
+  exit 2
+fi
+
+# First-party TUs only: the database also contains GoogleTest sources when
+# vendored, and tidy has no business re-linting the toolchain.
+mapfile -t files < <(
+  python3 - "$build_dir/compile_commands.json" <<'EOF'
+import json, sys
+for entry in json.load(open(sys.argv[1])):
+    f = entry["file"]
+    if any(s in f for s in ("/src/", "/bench/", "/tests/", "/examples/")):
+        print(f)
+EOF
+)
+
+if [ "${#files[@]}" -eq 0 ]; then
+  echo "run_clang_tidy: no first-party files in compile database" >&2
+  exit 2
+fi
+
+echo "run_clang_tidy: checking ${#files[@]} files"
+status=0
+if command -v run-clang-tidy >/dev/null 2>&1; then
+  run-clang-tidy -quiet -p "$build_dir" "${files[@]}" || status=$?
+else
+  for f in "${files[@]}"; do
+    clang-tidy -quiet -p "$build_dir" "$f" || status=$?
+  done
+fi
+
+if [ "$status" -ne 0 ]; then
+  echo "run_clang_tidy: findings detected (exit $status)" >&2
+  exit 1
+fi
+echo "run_clang_tidy: clean"
