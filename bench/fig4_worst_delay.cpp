@@ -7,7 +7,13 @@
 // re-simulated here as a live cross-check. Expected shape (and the paper's
 // conclusion): staircase log_d(N) growth, degrees 2 and 3 nearly tied and
 // below degrees 4 and 5 everywhere.
+//
+// The cross-check simulations — the expensive part of this bench — run on
+// the deterministic parallel sweep runner; each grid point owns its engine
+// and writes only its own slot, so the table is identical at any thread
+// count.
 #include <iostream>
+#include <vector>
 
 #include "bench/bench_util.hpp"
 #include "src/metrics/delay.hpp"
@@ -16,6 +22,7 @@
 #include "src/multitree/protocol.hpp"
 #include "src/multitree/schedule.hpp"
 #include "src/net/topology.hpp"
+#include "src/run/sweep.hpp"
 #include "src/sim/engine.hpp"
 #include "src/util/table.hpp"
 
@@ -56,15 +63,30 @@ int main() {
                "(closed form == simulated):\n";
   util::Table check({"N", "d", "closed form", "simulated"});
   bool all_match = true;
+  struct GridPoint {
+    sim::NodeKey n;
+    int d;
+  };
+  std::vector<GridPoint> grid;
   for (const sim::NodeKey n : {100, 650, 1300, 2000}) {
     for (const int d : {2, 5}) {
-      const multitree::Forest f = multitree::build_greedy(n, d);
-      const sim::Slot closed = multitree::closed_form_worst_delay(f);
-      const sim::Slot simulated = simulated_worst(n, d);
-      all_match = all_match && closed == simulated;
-      check.add_row({util::cell(n), util::cell(d), util::cell(closed),
-                     util::cell(simulated)});
+      grid.push_back({n, d});
     }
+  }
+  std::vector<sim::Slot> simulated(grid.size());
+  run::parallel_for(
+      grid.size(),
+      [&grid, &simulated](std::size_t i) {
+        simulated[i] = simulated_worst(grid[i].n, grid[i].d);
+      },
+      {});
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const multitree::Forest f =
+        multitree::build_greedy(grid[i].n, grid[i].d);
+    const sim::Slot closed = multitree::closed_form_worst_delay(f);
+    all_match = all_match && closed == simulated[i];
+    check.add_row({util::cell(grid[i].n), util::cell(grid[i].d),
+                   util::cell(closed), util::cell(simulated[i])});
   }
   check.print(std::cout);
   std::cout << (all_match ? "\nall cross-checks match.\n"

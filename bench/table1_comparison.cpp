@@ -6,20 +6,33 @@
 //   hypercube (special N): O(log N)   / O(log N)   / O(1)       / O(log N)
 //   hypercube (arbitrary): O(log^2(N/d)) / O(log(N/d)) / O(1) / O(log(N/d))
 #include <cmath>
+#include <cstddef>
 #include <iostream>
+#include <vector>
 
 #include "bench/bench_util.hpp"
 #include "src/core/session.hpp"
+#include "src/run/sweep.hpp"
 #include "src/util/table.hpp"
 
 namespace {
 
 using namespace streamcast;
 
-core::QosReport run(core::Scheme scheme, sim::NodeKey n, int d) {
-  return core::StreamingSession(
-             core::SessionConfig{.scheme = scheme, .n = n, .d = d})
-      .run();
+// Every cell of the table is one simulated session; the full set runs as a
+// single sweep on the parallel runner (results land in submission order, so
+// the printed tables are independent of thread count). A cell is requested
+// up front via `plan` and read back by its index after the sweep.
+std::vector<core::SessionConfig> g_tasks;
+std::vector<run::TaskResult> g_results;
+
+std::size_t plan(core::Scheme scheme, sim::NodeKey n, int d) {
+  g_tasks.push_back(core::SessionConfig{.scheme = scheme, .n = n, .d = d});
+  return g_tasks.size() - 1;
+}
+
+const core::QosReport& qos(std::size_t index) {
+  return g_results[index].qos;
 }
 
 void add(util::Table& t, const core::QosReport& r, const char* label) {
@@ -38,15 +51,36 @@ int main() {
   util::Table table({"scheme", "N", "d", "max delay", "avg delay",
                      "buffer (pkts)", "neighbors"});
   const int d = 2;
+
+  // Plan every cell, run them as one parallel sweep, then print.
+  struct SpecialRow {
+    std::size_t mt, hc;
+  };
+  struct ArbitraryRow {
+    std::size_t mt, hc, grouped;
+  };
+  std::vector<SpecialRow> special;
   for (const sim::NodeKey n : {63, 255, 1023, 4095}) {  // special N = 2^k-1
-    add(table, run(core::Scheme::kMultiTreeGreedy, n, d), "multi-tree");
-    add(table, run(core::Scheme::kHypercube, n, 1), "hypercube (special N)");
+    special.push_back({plan(core::Scheme::kMultiTreeGreedy, n, d),
+                       plan(core::Scheme::kHypercube, n, 1)});
   }
+  std::vector<ArbitraryRow> arbitrary;
   for (const sim::NodeKey n : {100, 500, 2000}) {  // arbitrary N
-    add(table, run(core::Scheme::kMultiTreeGreedy, n, d), "multi-tree");
-    add(table, run(core::Scheme::kHypercube, n, 1), "hypercube (arbitrary)");
-    add(table, run(core::Scheme::kHypercubeGrouped, n, d),
-        "hypercube (d groups)");
+    arbitrary.push_back({plan(core::Scheme::kMultiTreeGreedy, n, d),
+                         plan(core::Scheme::kHypercube, n, 1),
+                         plan(core::Scheme::kHypercubeGrouped, n, d)});
+  }
+  g_results = run::run_sweep(g_tasks);
+  run::require_all(g_results);
+
+  for (const SpecialRow& row : special) {
+    add(table, qos(row.mt), "multi-tree");
+    add(table, qos(row.hc), "hypercube (special N)");
+  }
+  for (const ArbitraryRow& row : arbitrary) {
+    add(table, qos(row.mt), "multi-tree");
+    add(table, qos(row.hc), "hypercube (arbitrary)");
+    add(table, qos(row.grouped), "hypercube (d groups)");
   }
   table.print(std::cout);
 
@@ -54,14 +88,15 @@ int main() {
                "should be ~flat):\n";
   util::Table shape({"scheme / metric", "N", "measured", "claimed growth",
                      "ratio"});
-  for (const sim::NodeKey n : {63, 255, 1023, 4095}) {
-    const auto mt = run(core::Scheme::kMultiTreeGreedy, n, d);
+  for (std::size_t i = 0; i < special.size(); ++i) {
+    const core::QosReport& mt = qos(special[i].mt);
+    const sim::NodeKey n = mt.n;
     const double lg = std::log2(static_cast<double>(n));
     shape.add_row({"multi-tree max delay", util::cell(n),
                    util::cell(mt.worst_delay), "d*log2(N)",
                    util::cell(static_cast<double>(mt.worst_delay) / (d * lg),
                               3)});
-    const auto hc = run(core::Scheme::kHypercube, n, 1);
+    const core::QosReport& hc = qos(special[i].hc);
     shape.add_row({"hypercube max delay (special)", util::cell(n),
                    util::cell(hc.worst_delay), "log2(N)",
                    util::cell(static_cast<double>(hc.worst_delay) / lg, 3)});
@@ -73,8 +108,9 @@ int main() {
                    util::cell(static_cast<double>(hc.max_neighbors) / lg,
                               3)});
   }
-  for (const sim::NodeKey n : {100, 500, 2000}) {
-    const auto hc = run(core::Scheme::kHypercube, n, 1);
+  for (std::size_t i = 0; i < arbitrary.size(); ++i) {
+    const core::QosReport& hc = qos(arbitrary[i].hc);
+    const sim::NodeKey n = hc.n;
     const double lg = std::log2(static_cast<double>(n));
     shape.add_row({"hypercube max delay (arbitrary)", util::cell(n),
                    util::cell(hc.worst_delay), "log2(N)^2",

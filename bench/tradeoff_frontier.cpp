@@ -5,10 +5,17 @@
 // (chain: minimal buffer, hopeless delay; multi-tree: best delay at
 // arbitrary N, O(d log N) buffer; hypercube: 2-packet buffer, delay between
 // log N and log^2 N; neighbors are the third, hidden axis).
+//
+// All (N, scheme, d) points run as one sweep on the deterministic parallel
+// runner: results come back in submission order, so the printed frontier is
+// identical at any thread count.
+#include <cstddef>
 #include <iostream>
+#include <vector>
 
 #include "bench/bench_util.hpp"
 #include "src/core/session.hpp"
+#include "src/run/sweep.hpp"
 #include "src/util/table.hpp"
 
 int main() {
@@ -16,29 +23,32 @@ int main() {
   bench::banner("Delay / buffer tradeoff (the paper's title)",
                 "measured (worst delay, worst buffer, neighbors) per scheme");
 
+  std::vector<core::SessionConfig> tasks;
+  for (const sim::NodeKey n : {255, 1000, 4000}) {
+    for (const int d : {2, 3, 4, 5}) {
+      tasks.push_back({.scheme = core::Scheme::kMultiTreeGreedy, .n = n,
+                       .d = d});
+    }
+    tasks.push_back({.scheme = core::Scheme::kHypercube, .n = n, .d = 1});
+    for (const int d : {2, 4}) {
+      tasks.push_back({.scheme = core::Scheme::kHypercubeGrouped, .n = n,
+                       .d = d});
+    }
+    tasks.push_back({.scheme = core::Scheme::kChain, .n = n, .d = 1});
+  }
+  const auto results = run::run_sweep(tasks);
+  run::require_all(results);
+
+  std::size_t next = 0;
   for (const sim::NodeKey n : {255, 1000, 4000}) {
     std::cout << "N = " << n << ":\n";
     util::Table table({"scheme", "d", "worst delay", "worst buffer",
                        "max neighbors", "delay*buffer"});
-    struct Cell {
-      core::Scheme scheme;
-      int d;
-    };
-    std::vector<Cell> cells;
-    for (const int d : {2, 3, 4, 5}) {
-      cells.push_back({core::Scheme::kMultiTreeGreedy, d});
-    }
-    cells.push_back({core::Scheme::kHypercube, 1});
-    for (const int d : {2, 4}) {
-      cells.push_back({core::Scheme::kHypercubeGrouped, d});
-    }
-    cells.push_back({core::Scheme::kChain, 1});
-    for (const Cell& cell : cells) {
-      const auto r = core::StreamingSession(core::SessionConfig{
-                         .scheme = cell.scheme, .n = n, .d = cell.d})
-                         .run();
+    constexpr std::size_t kCellsPerN = 8;
+    for (std::size_t cell = 0; cell < kCellsPerN; ++cell, ++next) {
+      const core::QosReport& r = results[next].qos;
       table.add_row(
-          {r.scheme, util::cell(cell.d), util::cell(r.worst_delay),
+          {r.scheme, util::cell(tasks[next].d), util::cell(r.worst_delay),
            util::cell(r.max_buffer), util::cell(r.max_neighbors),
            util::cell(static_cast<std::int64_t>(r.worst_delay) *
                       static_cast<std::int64_t>(r.max_buffer))});

@@ -20,6 +20,9 @@ struct QosReport {
   std::size_t max_neighbors = 0;
   double average_neighbors = 0;
   std::int64_t transmissions = 0;
+  /// Slots the engine simulated to produce this report (horizon + drain);
+  /// the perf harness derives slots/sec from it.
+  sim::Slot slots_simulated = 0;
   /// Lossy-run health (zero on reliable links): transmissions erased by the
   /// link loss model, and NACK repair retransmissions.
   std::int64_t drops = 0;

@@ -149,6 +149,7 @@ QosReport run_multicluster(const SessionConfig& config) {
   report.average_buffer = buffer_sum / static_cast<double>(receivers);
   report.average_neighbors = neighbor_sum / static_cast<double>(receivers);
   report.transmissions = engine.stats().transmissions;
+  report.slots_simulated = engine.now();
   return report;
 }
 
@@ -177,9 +178,15 @@ SchemePieces build_scheme(const SessionConfig& config) {
               : multitree::build_structured(n, d));
       if (p.window == 0) p.window = 2 * d * (p.forest->height() + 2);
       p.topology = std::make_unique<net::UniformCluster>(n, d);
-      p.protocol =
-          std::make_unique<multitree::MultiTreeProtocol>(*p.forest,
-                                                         config.mode);
+      auto proto = std::make_unique<multitree::MultiTreeProtocol>(*p.forest,
+                                                                  config.mode);
+      // On lossy links a forward must wait for the actual (possibly
+      // repaired) receipt, so the replayed deterministic schedule is
+      // unsound; keep the cursor pump, which advances only on delivery.
+      if (config.loss.model != loss::ErasureKind::kNone) {
+        proto->use_periodic_cache(false);
+      }
+      p.protocol = std::move(proto);
       p.slack += multitree::worst_delay_bound(n, d) + 3 * d;
       break;
     }
@@ -325,6 +332,7 @@ QosReport StreamingSession::run() const {
   report.max_neighbors = neighbors.max_count(1, n);
   report.average_neighbors = neighbors.mean_count(1, n);
   report.transmissions = engine.stats().transmissions;
+  report.slots_simulated = engine.now();
   return report;
 }
 
@@ -408,6 +416,7 @@ LossRunResult StreamingSession::run_lossy() const {
   report.n = n;
   report.d = config_.d;
   report.transmissions = engine.stats().transmissions;
+  report.slots_simulated = end;
   report.drops = engine.stats().drops;
   report.retransmissions = engine.stats().retransmissions;
 

@@ -31,6 +31,7 @@ MultiTreeProtocol::MultiTreeProtocol(const Forest& forest, StreamMode mode,
     }
   }
   const int d = forest_.d();
+  use_periodic_cache(true);
   src_next_.assign(static_cast<std::size_t>(d),
                    std::vector<std::int64_t>(static_cast<std::size_t>(d), 0));
   interior_index_.assign(static_cast<std::size_t>(forest_.n()) + 1, -1);
@@ -67,11 +68,40 @@ NodeKey MultiTreeProtocol::local_key(sim::NodeKey global) const {
   return inverse_key_map_[static_cast<std::size_t>(global)];
 }
 
+void MultiTreeProtocol::use_periodic_cache(bool enabled) {
+  if (!enabled) {
+    cache_.reset();
+    return;
+  }
+  // The memoized schedule assumes every scheduled packet is sendable the
+  // slot the round-robin reaches it: true for pre-recorded data and for the
+  // d-slot-shifted prebuffered live mode, false for the pipelined live mode
+  // (packet p does not exist before slot p) and for gated sources (backbone
+  // availability is data-dependent).
+  if (mode_ != StreamMode::kLivePipelined && !gate_ && !cache_) {
+    cache_ = build_periodic_schedule(forest_);
+  }
+}
+
 void MultiTreeProtocol::transmit(Slot t, std::vector<Tx>& out) {
   const int d = forest_.d();
   // Pre-buffered live streaming: the identical schedule starts d slots late
   // (the residue t mod d is unchanged by the shift, so nothing else moves).
   if (mode_ == StreamMode::kLivePrebuffered && t < d) return;
+  if (cache_) {
+    const Slot shifted = mode_ == StreamMode::kLivePrebuffered ? t - d : t;
+    const Slot period = shifted / d;
+    for (const PeriodicSchedule::Entry& e :
+         cache_->residues[static_cast<std::size_t>(shifted % d)]) {
+      if (period < e.alpha) continue;
+      out.push_back(Tx{.from = global_key(e.from),
+                       .to = global_key(e.to),
+                       .packet = static_cast<PacketId>(e.tree) +
+                                 (period - e.alpha) * d,
+                       .tag = static_cast<std::int32_t>(e.tree)});
+    }
+    return;
+  }
   const int r = static_cast<int>(t % d);
 
   // Emits the next pending packet of tree k from `from` (at position
@@ -109,6 +139,9 @@ void MultiTreeProtocol::transmit(Slot t, std::vector<Tx>& out) {
 
 void MultiTreeProtocol::deliver(Slot t, const Tx& tx) {
   (void)t;
+  // The memoized schedule derives every send from slot arithmetic alone;
+  // there is no cursor state to advance.
+  if (cache_) return;
   const NodeKey local = local_key(tx.to);
   if (local < 1) return;
   const int idx = interior_index_[static_cast<std::size_t>(local)];

@@ -16,9 +16,11 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "src/multitree/forest.hpp"
+#include "src/multitree/schedule.hpp"
 #include "src/sim/protocol.hpp"
 
 namespace streamcast::multitree {
@@ -51,6 +53,15 @@ class MultiTreeProtocol final : public sim::Protocol {
   /// Inverse of global_key for receivers; -1 if the key is not mapped.
   NodeKey local_key(sim::NodeKey global) const;
 
+  /// Enables/disables the memoized periodic-schedule fast path. Eligible
+  /// modes (kPreRecorded and kLivePrebuffered without a source gate) enable
+  /// it automatically at construction; callers that deliver packets out of
+  /// schedule — lossy runs, where a forward must wait for actual receipt —
+  /// must switch it off before the run starts. Ineligible configurations
+  /// ignore enable requests.
+  void use_periodic_cache(bool enabled);
+  bool periodic_cache_active() const { return cache_.has_value(); }
+
  private:
   const Forest& forest_;
   StreamMode mode_;
@@ -67,6 +78,9 @@ class MultiTreeProtocol final : public sim::Protocol {
   std::vector<InteriorState> interiors_;
   std::vector<int> interior_index_;               // node -> index or -1
   std::vector<std::vector<std::int64_t>> src_next_;  // [tree][child] next m
+  /// Memoized periodic schedule; when set, transmit() replays it and
+  /// deliver() keeps no cursor state (tests prove byte-identical output).
+  std::optional<PeriodicSchedule> cache_;
 };
 
 }  // namespace streamcast::multitree

@@ -62,6 +62,40 @@ std::vector<Slot> closed_form_delays_pipelined(const Forest& forest) {
   return delay;
 }
 
+PeriodicSchedule build_periodic_schedule(const Forest& forest) {
+  const int d = forest.d();
+  const auto offsets = arrival_offsets(forest, 0);
+  PeriodicSchedule sched;
+  sched.d = d;
+  sched.residues.resize(static_cast<std::size_t>(d));
+  for (int r = 0; r < d; ++r) {
+    auto& entries = sched.residues[static_cast<std::size_t>(r)];
+    // Source sends: one per tree per slot, to the child at index r
+    // (position r+1). A_k(r+1) = r, so these entries fire from period 0.
+    for (int k = 0; k < d; ++k) {
+      const NodeKey child = forest.node_at(k, static_cast<NodeKey>(r) + 1);
+      if (forest.is_dummy(child)) continue;
+      entries.push_back(
+          {.from = kSource, .to = child, .tree = k, .alpha = 0});
+    }
+    // Interior forwards, tree-major by position — the pump's visit order.
+    for (int k = 0; k < d; ++k) {
+      for (NodeKey pos = 1; pos <= forest.interior(); ++pos) {
+        const NodeKey cp = forest.child_pos(pos, r);
+        const NodeKey child = forest.node_at(k, cp);
+        if (forest.is_dummy(child)) continue;
+        const Slot a = offsets[static_cast<std::size_t>(cp)];
+        assert((a - r) % d == 0);
+        entries.push_back({.from = forest.node_at(k, pos),
+                           .to = child,
+                           .tree = k,
+                           .alpha = (a - r) / d});
+      }
+    }
+  }
+  return sched;
+}
+
 Slot closed_form_worst_delay(const Forest& forest) {
   const auto d = closed_form_delays(forest);
   return *std::max_element(d.begin() + 1, d.end());

@@ -44,6 +44,36 @@ std::vector<Slot> closed_form_delays(const Forest& forest);
 /// Verified against engine simulation in the test suite.
 std::vector<Slot> closed_form_delays_pipelined(const Forest& forest);
 
+/// Memoized periodic transmission schedule (DESIGN.md §8).
+///
+/// The round-robin dissemination is perfectly periodic with period d: writing
+/// t = M*d + r, the sender at position q of tree k transmits to its child at
+/// index r exactly in the slots where M >= alpha, with
+///     alpha = (A_k(child_pos(q, r)) - r) / d
+/// (A_k(child) ≡ r (mod d) by the offset recurrence, so the division is
+/// exact), and the packet sent is k + (M - alpha)*d. This closed form equals
+/// the cursor-driven pump in MultiTreeProtocol for every slot including
+/// warm-up: the first slot >= A_k(q)+1 with residue r is precisely
+/// A_k(child), and arrivals keep pace with sends one-for-one thereafter.
+/// Replaying the precomputed per-residue window replaces per-slot cursor
+/// bookkeeping and per-delivery protocol state updates in the reliable hot
+/// path.
+struct PeriodicSchedule {
+  struct Entry {
+    NodeKey from = 0;  // local key (0 = the source)
+    NodeKey to = 0;    // local key of the receiving child
+    int tree = 0;
+    Slot alpha = 0;  // first period M in which this entry fires
+  };
+  int d = 1;
+  /// Entries for each slot residue r = t % d, in the exact order the
+  /// cursor-driven pump emits them (source trees 0..d-1, then interior
+  /// nodes tree-major by position). Dummy children are omitted.
+  std::vector<std::vector<Entry>> residues;
+};
+
+PeriodicSchedule build_periodic_schedule(const Forest& forest);
+
 /// max over receivers of closed_form_delays.
 Slot closed_form_worst_delay(const Forest& forest);
 

@@ -10,8 +10,20 @@ namespace streamcast::sim {
 
 namespace {
 
+/// Bits reserved for the packet id in a (node, packet) delivery key. Node
+/// keys occupy the bits above, so the two fields can never alias: distinct
+/// pairs map to distinct keys for every packet id below 2^40 (range-checked)
+/// and every node key below 2^24 (NodeKey is 31 usable bits, but 2^24 nodes
+/// is already beyond any simulated world; asserted all the same).
+constexpr int kPacketKeyBits = 40;
+constexpr PacketId kMaxKeyPacket = PacketId{1} << kPacketKeyBits;
+constexpr NodeKey kMaxKeyNode = NodeKey{1} << 24;
+
 std::uint64_t delivery_key(NodeKey node, PacketId packet) {
-  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(node)) << 40) ^
+  assert(node >= 0 && node < kMaxKeyNode);
+  assert(packet >= 0 && packet < kMaxKeyPacket);
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(node))
+          << kPacketKeyBits) |
          static_cast<std::uint64_t>(packet);
 }
 
@@ -29,6 +41,7 @@ Engine::Engine(const net::Topology& topology, Protocol& protocol,
     : topology_(topology), protocol_(protocol), options_(options) {
   send_used_.resize(static_cast<std::size_t>(topology_.size()));
   recv_used_.resize(static_cast<std::size_t>(topology_.size()));
+  seen_bits_.resize(static_cast<std::size_t>(topology_.size()));
   ring_.resize(8);
   ring_mask_ = ring_.size() - 1;
 }
@@ -51,13 +64,25 @@ void Engine::grow_ring(Slot max_latency) {
   ring_mask_ = mask;
 }
 
+bool Engine::seen_before(NodeKey node, PacketId packet) {
+  if (packet >= kControlIdBase) {
+    return !seen_control_.insert(delivery_key(node, packet)).second;
+  }
+  auto& bits = seen_bits_[static_cast<std::size_t>(node)];
+  const auto word = static_cast<std::size_t>(packet >> 6);
+  if (word >= bits.size()) bits.resize(std::bit_ceil(word + 1), 0);
+  const std::uint64_t mask = std::uint64_t{1} << (packet & 63);
+  const bool seen = (bits[word] & mask) != 0;
+  bits[word] |= mask;
+  return seen;
+}
+
 void Engine::step() {
   const Slot t = now_;
 
   // Phase 1: collect and validate this slot's transmissions.
   tx_scratch_.clear();
   protocol_.transmit(t, tx_scratch_);
-  std::ranges::fill(send_used_, 0);
   for (const Tx& tx : tx_scratch_) {
     if (tx.from < 0 || tx.from >= topology_.size() || tx.to < 0 ||
         tx.to >= topology_.size()) {
@@ -65,8 +90,12 @@ void Engine::step() {
     }
     if (tx.from == tx.to) violation("self transmission", t, tx);
     if (tx.packet < 0) violation("negative packet id", t, tx);
-    auto& used = send_used_[static_cast<std::size_t>(tx.from)];
-    if (++used > topology_.send_capacity(tx.from) && options_.enforce) {
+    auto& sender = send_used_[static_cast<std::size_t>(tx.from)];
+    if (sender.epoch != t) {
+      sender.epoch = t;
+      sender.used = 0;
+    }
+    if (++sender.used > topology_.send_capacity(tx.from) && options_.enforce) {
       violation("send capacity exceeded", t, tx);
     }
     const Slot latency = topology_.latency(tx.from, tx.to);
@@ -88,19 +117,24 @@ void Engine::step() {
   // Phase 2: complete arrivals scheduled for this slot.
   auto& bucket = ring_[static_cast<std::size_t>(t) & ring_mask_];
   if (!bucket.empty()) {
-    std::ranges::fill(recv_used_, 0);
     for (const Delivery& d : bucket) {
       assert(d.received == t);
-      auto& used = recv_used_[static_cast<std::size_t>(d.tx.to)];
-      if (++used > topology_.recv_capacity(d.tx.to) && options_.enforce) {
+      auto& receiver = recv_used_[static_cast<std::size_t>(d.tx.to)];
+      if (receiver.epoch != t) {
+        receiver.epoch = t;
+        receiver.used = 0;
+      }
+      if (++receiver.used > topology_.recv_capacity(d.tx.to) &&
+          options_.enforce) {
         violation("receive capacity exceeded", t, d.tx);
       }
-      if (!seen_.insert(delivery_key(d.tx.to, d.tx.packet)).second) {
+      if (seen_before(d.tx.to, d.tx.packet)) {
         ++stats_.duplicate_deliveries;
         if (options_.forbid_duplicates && options_.enforce) {
           violation("duplicate delivery", t, d.tx);
         }
       }
+      ++stats_.deliveries;
       for (DeliveryObserver* obs : observers_) obs->on_delivery(d);
       protocol_.deliver(t, d.tx);
     }

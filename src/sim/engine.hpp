@@ -16,6 +16,13 @@
 // (the packet was sent) but never arrives; the drop is counted in
 // EngineStats, reported to observers via on_drop, and otherwise invisible to
 // the receiving side — exactly an erasure channel.
+//
+// Hot-path data structures (DESIGN.md §8): capacity counters are
+// epoch-stamped (a counter is "zero" whenever its stamp is not the current
+// slot), so a slot costs O(#transmissions), never O(N) counter fills;
+// duplicate detection for stream packets uses a per-node packet bitmap (one
+// bit per delivered packet id) instead of a hash set of (node, packet) keys.
+// Control-plane ids (>= kControlIdBase) are sparse and stay in a hash set.
 #pragma once
 
 #include <cstddef>
@@ -65,6 +72,8 @@ struct EngineOptions {
 struct EngineStats {
   std::int64_t transmissions = 0;
   std::int64_t duplicate_deliveries = 0;
+  /// Transmissions that completed (reported to observers and the protocol).
+  std::int64_t deliveries = 0;
   /// Transmissions erased by the loss model.
   std::int64_t drops = 0;
   /// Transmissions flagged Tx::retransmit (NACK repairs).
@@ -94,6 +103,15 @@ class Engine {
  private:
   void step();
   void grow_ring(Slot max_latency);
+  bool seen_before(NodeKey node, PacketId packet);
+
+  /// Per-node per-slot capacity counter. The stamp says which slot `used`
+  /// belongs to; a stale stamp reads as zero, so no per-slot reset pass is
+  /// needed (the epoch-stamp trick, DESIGN.md §8).
+  struct StampedCount {
+    Slot epoch = -1;
+    int used = 0;
+  };
 
   const net::Topology& topology_;
   Protocol& protocol_;
@@ -106,12 +124,17 @@ class Engine {
   /// bench.
   std::vector<std::vector<Delivery>> ring_;
   std::size_t ring_mask_ = 0;
-  std::unordered_set<std::uint64_t> seen_;  // (node, packet) delivery keys
+  /// Per-node delivered-packet bitmaps for stream ids (< kControlIdBase);
+  /// bit j of seen_bits_[node] is packet j. Grown on demand, amortized O(1).
+  std::vector<std::vector<std::uint64_t>> seen_bits_;
+  /// Sparse control-plane ids (>= kControlIdBase) keep the hash set; repair
+  /// bookkeeping traffic is rare so this is off the hot path.
+  std::unordered_set<std::uint64_t> seen_control_;
   std::vector<DeliveryObserver*> observers_;
   loss::LossModel* loss_ = nullptr;
   std::vector<Tx> tx_scratch_;
-  std::vector<int> send_used_;
-  std::vector<int> recv_used_;
+  std::vector<StampedCount> send_used_;
+  std::vector<StampedCount> recv_used_;
   EngineStats stats_;
 };
 

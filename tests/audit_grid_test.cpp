@@ -4,9 +4,18 @@
 // the InvariantAuditor and throws with a structured AuditReport if any of
 // the paper's invariants (capacity, collision-freedom, T_c pacing,
 // duplicate-freedom, Thm 2 / Prop 1-2 delay & buffer envelopes) breaks.
+//
+// The grids run through run::run_sweep — the deterministic parallel sweep
+// scheduler — both to cut wall-clock on multi-core CI and to keep the
+// runner itself under audit coverage: every session here re-checks the full
+// invariant set regardless of which worker thread it landed on.
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "src/core/streamcast.hpp"
+#include "src/run/sweep.hpp"
 
 namespace streamcast {
 namespace {
@@ -15,102 +24,132 @@ using core::Scheme;
 using core::SessionConfig;
 using core::StreamingSession;
 
+std::string describe(const SessionConfig& cfg) {
+  std::string s = std::string(core::scheme_name(cfg.scheme)) +
+                  " N=" + std::to_string(cfg.n) +
+                  " d=" + std::to_string(cfg.d);
+  if (cfg.clusters > 1) {
+    s += " clusters=" + std::to_string(cfg.clusters) +
+         " T_c=" + std::to_string(cfg.t_c);
+  }
+  if (cfg.loss.model != loss::ErasureKind::kNone) {
+    s += " p=" + std::to_string(cfg.loss.rate);
+  }
+  return s;
+}
+
+std::string error_text(const run::TaskResult& r) {
+  if (!r.error) return {};
+  try {
+    std::rethrow_exception(r.error);
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown error";
+  }
+}
+
+/// Runs the grid on the parallel sweep runner and asserts every audited
+/// session finished violation-free.
+std::vector<run::TaskResult> sweep_clean(
+    const std::vector<SessionConfig>& tasks) {
+  const auto results = run::run_sweep(tasks);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_FALSE(results[i].error)
+        << describe(tasks[i]) << ": " << error_text(results[i]);
+  }
+  return results;
+}
+
 TEST(AuditGrid, MultiTreeSchemesHoldTheorem2Envelopes) {
+  std::vector<SessionConfig> tasks;
   for (const Scheme scheme :
        {Scheme::kMultiTreeStructured, Scheme::kMultiTreeGreedy}) {
     for (const sim::NodeKey n : {5, 14, 40, 63}) {
       for (const int d : {2, 3, 4}) {
-        SessionConfig cfg{.scheme = scheme, .n = n, .d = d, .audit = true};
-        EXPECT_NO_THROW(StreamingSession(cfg).run())
-            << core::scheme_name(scheme) << " N=" << n << " d=" << d;
+        tasks.push_back({.scheme = scheme, .n = n, .d = d, .audit = true});
       }
     }
   }
+  sweep_clean(tasks);
 }
 
 TEST(AuditGrid, MultiTreeLiveModesHoldShiftedEnvelopes) {
+  std::vector<SessionConfig> tasks;
   for (const auto mode : {multitree::StreamMode::kLivePrebuffered,
                           multitree::StreamMode::kLivePipelined}) {
     for (const sim::NodeKey n : {13, 40}) {
       for (const int d : {2, 3}) {
-        SessionConfig cfg{.scheme = Scheme::kMultiTreeGreedy,
-                          .n = n,
-                          .d = d,
-                          .mode = mode,
-                          .audit = true};
-        EXPECT_NO_THROW(StreamingSession(cfg).run()) << "N=" << n
-                                                     << " d=" << d;
+        tasks.push_back({.scheme = Scheme::kMultiTreeGreedy,
+                         .n = n,
+                         .d = d,
+                         .mode = mode,
+                         .audit = true});
       }
     }
   }
+  sweep_clean(tasks);
 }
 
 TEST(AuditGrid, HypercubeSchemesHoldConstantBufferEnvelope) {
+  std::vector<SessionConfig> tasks;
   for (const sim::NodeKey n : {7, 25, 63, 127}) {
-    SessionConfig cfg{.scheme = Scheme::kHypercube, .n = n, .d = 1,
-                      .audit = true};
-    EXPECT_NO_THROW(StreamingSession(cfg).run()) << "N=" << n;
+    tasks.push_back({.scheme = Scheme::kHypercube, .n = n, .d = 1,
+                     .audit = true});
   }
   for (const sim::NodeKey n : {24, 90}) {
     for (const int d : {2, 3}) {
-      SessionConfig cfg{.scheme = Scheme::kHypercubeGrouped,
-                        .n = n,
-                        .d = d,
-                        .audit = true};
-      EXPECT_NO_THROW(StreamingSession(cfg).run()) << "N=" << n << " d=" << d;
+      tasks.push_back({.scheme = Scheme::kHypercubeGrouped,
+                       .n = n,
+                       .d = d,
+                       .audit = true});
     }
   }
+  sweep_clean(tasks);
 }
 
 TEST(AuditGrid, BaselinesHoldClosedFormEnvelopes) {
+  std::vector<SessionConfig> tasks;
   for (const sim::NodeKey n : {5, 20, 50}) {
-    SessionConfig chain{.scheme = Scheme::kChain, .n = n, .d = 1,
-                        .audit = true};
-    EXPECT_NO_THROW(StreamingSession(chain).run()) << "chain N=" << n;
-    SessionConfig tree{.scheme = Scheme::kSingleTree, .n = n, .d = 2,
-                       .audit = true};
-    EXPECT_NO_THROW(StreamingSession(tree).run()) << "single-tree N=" << n;
+    tasks.push_back({.scheme = Scheme::kChain, .n = n, .d = 1,
+                     .audit = true});
+    tasks.push_back({.scheme = Scheme::kSingleTree, .n = n, .d = 2,
+                     .audit = true});
   }
+  sweep_clean(tasks);
 }
 
 TEST(AuditGrid, SuperTreeCompositionHoldsUnderTcSweep) {
+  std::vector<SessionConfig> tasks;
   for (const int clusters : {3, 6}) {
     for (const sim::Slot t_c : {2, 8, 16}) {
-      SessionConfig mt{.scheme = Scheme::kMultiTreeGreedy,
+      tasks.push_back({.scheme = Scheme::kMultiTreeGreedy,
                        .n = 10,
                        .d = 2,
                        .clusters = clusters,
                        .big_d = 3,
                        .t_c = t_c,
-                       .audit = true};
-      EXPECT_NO_THROW(StreamingSession(mt).run())
-          << "multitree clusters=" << clusters << " T_c=" << t_c;
-      SessionConfig hc{.scheme = Scheme::kHypercube,
+                       .audit = true});
+      tasks.push_back({.scheme = Scheme::kHypercube,
                        .n = 7,
                        .d = 1,
                        .clusters = clusters,
                        .big_d = 3,
                        .t_c = t_c,
-                       .audit = true};
-      EXPECT_NO_THROW(StreamingSession(hc).run())
-          << "hypercube clusters=" << clusters << " T_c=" << t_c;
+                       .audit = true});
     }
   }
+  sweep_clean(tasks);
 }
 
 TEST(AuditGrid, LossyRecoveryRunsStayWithinProvisionedInvariants) {
+  std::vector<SessionConfig> tasks;
   for (const Scheme scheme : {Scheme::kMultiTreeGreedy, Scheme::kChain}) {
     for (const double rate : {0.0, 0.02, 0.1}) {
       SessionConfig cfg{.scheme = scheme, .n = 30, .d = 2, .audit = true};
       cfg.loss.model = loss::ErasureKind::kBernoulli;
       cfg.loss.rate = rate;
-      ASSERT_NO_THROW({
-        const auto result = StreamingSession(cfg).run_lossy();
-        if (rate > 0) {
-          EXPECT_GT(result.loss.drops, 0);
-        }
-      }) << core::scheme_name(scheme)
-         << " p=" << rate;
+      tasks.push_back(cfg);
     }
   }
   // FEC path: decoded packets never cross a link; the physical-stream audit
@@ -120,7 +159,15 @@ TEST(AuditGrid, LossyRecoveryRunsStayWithinProvisionedInvariants) {
   fec.loss.model = loss::ErasureKind::kBernoulli;
   fec.loss.rate = 0.05;
   fec.loss.recovery = loss::RecoveryMode::kFec;
-  EXPECT_NO_THROW(StreamingSession(fec).run_lossy());
+  tasks.push_back(fec);
+
+  const auto results = sweep_clean(tasks);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (results[i].error) continue;
+    if (tasks[i].loss.rate > 0) {
+      EXPECT_GT(results[i].loss.drops, 0) << describe(tasks[i]);
+    }
+  }
 }
 
 TEST(AuditGrid, AuditedRunMatchesUnauditedReport) {

@@ -15,6 +15,7 @@
 #include "src/multitree/structured.hpp"
 #include "src/net/topology.hpp"
 #include "src/sim/engine.hpp"
+#include "src/sim/trace.hpp"
 
 namespace streamcast::multitree {
 namespace {
@@ -195,6 +196,73 @@ TEST_P(ScheduleGrid, BufferOccupancyWithinTheoremTwoBound) {
   for (const std::size_t o : occ) {
     EXPECT_LE(o, static_cast<std::size_t>(worst_delay_bound(n, d)));
   }
+}
+
+// ---------------------------------------------------------------------------
+// Memoized periodic-schedule cache: the replayed closed form must reproduce
+// the cursor-driven pump's transmissions byte for byte, warm-up included.
+// ---------------------------------------------------------------------------
+
+/// Simulates with the cache either active (the default) or forced off, and
+/// returns the full delivery trace.
+std::vector<sim::Delivery> traced_run(const Forest& forest, StreamMode mode,
+                                      bool cached) {
+  net::UniformCluster topo(forest.n(), forest.d());
+  MultiTreeProtocol proto(forest, mode);
+  if (!cached) proto.use_periodic_cache(false);
+  EXPECT_EQ(proto.periodic_cache_active(), cached);
+  sim::Engine engine(topo, proto);
+  sim::Trace trace;
+  engine.add_observer(trace);
+  engine.run_until(4 * worst_delay_bound(forest.n(), forest.d()) + 16);
+  return trace.all();
+}
+
+TEST(PeriodicCache, ReplaysCursorPumpByteForByte) {
+  for (const bool greedy : {false, true}) {
+    for (const auto mode :
+         {StreamMode::kPreRecorded, StreamMode::kLivePrebuffered}) {
+      for (const int d : {1, 2, 3, 5}) {
+        for (const NodeKey n : {1, 2, 7, 15, 40, 121}) {
+          const Forest f =
+              greedy ? build_greedy(n, d) : build_structured(n, d);
+          const auto cached = traced_run(f, mode, true);
+          const auto pumped = traced_run(f, mode, false);
+          ASSERT_EQ(cached.size(), pumped.size())
+              << "n=" << n << " d=" << d << " greedy=" << greedy;
+          for (std::size_t i = 0; i < cached.size(); ++i) {
+            const sim::Delivery& a = cached[i];
+            const sim::Delivery& b = pumped[i];
+            ASSERT_TRUE(a.sent == b.sent && a.received == b.received &&
+                        a.tx.from == b.tx.from && a.tx.to == b.tx.to &&
+                        a.tx.packet == b.tx.packet && a.tx.tag == b.tx.tag)
+                << "n=" << n << " d=" << d << " delivery " << i;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(PeriodicCache, DisabledForPipelinedAndGatedSources) {
+  const Forest f = build_greedy(15, 3);
+  MultiTreeProtocol pipelined(f, StreamMode::kLivePipelined);
+  EXPECT_FALSE(pipelined.periodic_cache_active());
+  pipelined.use_periodic_cache(true);  // ineligible: request ignored
+  EXPECT_FALSE(pipelined.periodic_cache_active());
+  MultiTreeProtocol gated(f, StreamMode::kPreRecorded,
+                          [](sim::PacketId, Slot) { return true; });
+  EXPECT_FALSE(gated.periodic_cache_active());
+}
+
+TEST(PeriodicCache, EnabledByDefaultForEligibleModes) {
+  const Forest f = build_greedy(15, 3);
+  MultiTreeProtocol pre(f, StreamMode::kPreRecorded);
+  EXPECT_TRUE(pre.periodic_cache_active());
+  MultiTreeProtocol live(f, StreamMode::kLivePrebuffered);
+  EXPECT_TRUE(live.periodic_cache_active());
+  pre.use_periodic_cache(false);
+  EXPECT_FALSE(pre.periodic_cache_active());
 }
 
 std::vector<Param> schedule_grid() {

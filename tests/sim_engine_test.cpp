@@ -255,6 +255,129 @@ TEST(Engine, RingGrowsToCoverLargeLatencies) {
   EXPECT_EQ(rec.all[1].received, 49);
 }
 
+/// Topology with an explicit per-pair latency matrix and generous
+/// capacities, for exercising the in-flight ring's sizing rules.
+class MatrixTopology final : public net::Topology {
+ public:
+  explicit MatrixTopology(NodeKey size) : size_(size) {
+    latency_.assign(static_cast<std::size_t>(size),
+                    std::vector<Slot>(static_cast<std::size_t>(size), 1));
+  }
+  void set_latency(NodeKey from, NodeKey to, Slot l) {
+    latency_[static_cast<std::size_t>(from)][static_cast<std::size_t>(to)] = l;
+  }
+  NodeKey size() const override { return size_; }
+  Slot latency(NodeKey from, NodeKey to) const override {
+    return latency_[static_cast<std::size_t>(from)]
+                   [static_cast<std::size_t>(to)];
+  }
+  int send_capacity(NodeKey) const override { return 8; }
+  int recv_capacity(NodeKey) const override { return 8; }
+
+ private:
+  NodeKey size_;
+  std::vector<std::vector<Slot>> latency_;
+};
+
+TEST(Engine, LatencyExactlyEqualToRingSizeDeliversOnTime) {
+  // The initial ring holds 8 buckets. A latency of exactly 8 must NOT need a
+  // growth: in-flight arrivals span 8 distinct slots, which map to 8
+  // distinct buckets (the off-by-one guard on the `latency > ring size`
+  // growth trigger). A unit-latency delivery sharing the arrival slot and a
+  // later reuse of the same bucket must all land at their exact slots.
+  MatrixTopology topo(4);
+  topo.set_latency(0, 1, 8);
+  Scripted proto;
+  proto.at(0, tx(0, 1, 0));   // arrives slot 7, bucket 7
+  proto.at(7, tx(0, 2, 1));   // unit latency: arrives slot 7, same bucket
+  proto.at(8, tx(0, 1, 2));   // latency 8 again: arrives slot 15, bucket 7
+  Engine engine(topo, proto);
+  Recorder rec;
+  engine.add_observer(rec);
+  engine.run_until(7);
+  EXPECT_TRUE(rec.all.empty());
+  engine.run_until(8);
+  ASSERT_EQ(rec.all.size(), 2u);
+  EXPECT_EQ(rec.all[0].tx.packet, 0);
+  EXPECT_EQ(rec.all[0].received, 7);
+  EXPECT_EQ(rec.all[1].tx.packet, 1);
+  EXPECT_EQ(rec.all[1].received, 7);
+  engine.run_until(16);
+  ASSERT_EQ(rec.all.size(), 3u);
+  EXPECT_EQ(rec.all[2].tx.packet, 2);
+  EXPECT_EQ(rec.all[2].received, 15);
+}
+
+TEST(Engine, RingGrowsMidRunWithInFlightDeliveries) {
+  // Two growths (8 -> 32 -> 64) while earlier deliveries are still in
+  // flight: every rebucketed delivery must still arrive at its exact slot.
+  MatrixTopology topo(4);
+  topo.set_latency(0, 1, 6);
+  topo.set_latency(0, 2, 20);
+  topo.set_latency(0, 3, 40);
+  Scripted proto;
+  proto.at(0, tx(0, 1, 0));  // arrives slot 5 (in flight through both grows)
+  proto.at(2, tx(0, 2, 1));  // latency 20: grow to 32, arrives slot 21
+  proto.at(3, tx(0, 3, 2));  // latency 40: grow to 64, arrives slot 42
+  Engine engine(topo, proto);
+  Recorder rec;
+  engine.add_observer(rec);
+  engine.run_until(43);
+  ASSERT_EQ(rec.all.size(), 3u);
+  EXPECT_EQ(rec.all[0].tx.packet, 0);
+  EXPECT_EQ(rec.all[0].received, 5);
+  EXPECT_EQ(rec.all[1].tx.packet, 1);
+  EXPECT_EQ(rec.all[1].received, 21);
+  EXPECT_EQ(rec.all[2].tx.packet, 2);
+  EXPECT_EQ(rec.all[2].received, 42);
+}
+
+TEST(Engine, DuplicateDetectionSurvivesBitmapGrowth) {
+  // Far-apart stream ids force the per-node seen-bitmap to grow; detection
+  // must hold across the growth and stay per-node.
+  net::UniformCluster topo(3, 4);
+  Scripted proto;
+  proto.at(0, tx(0, 1, 0));
+  proto.at(1, tx(0, 1, 1000000));
+  proto.at(2, tx(0, 2, 1000000));  // same packet, other node: fine
+  proto.at(3, tx(2, 1, 1000000));  // duplicate at node 1
+  Engine engine(topo, proto);
+  engine.run_until(3);
+  EXPECT_EQ(engine.stats().duplicate_deliveries, 0);
+  EXPECT_THROW(engine.run_until(4), ProtocolViolation);
+}
+
+TEST(Engine, ControlIdDuplicatesAreDetected) {
+  // Ids at or above kControlIdBase use the sparse set, with the
+  // non-overlapping (node << 40 | packet) key: distinct (node, packet)
+  // pairs can never alias.
+  net::UniformCluster topo(3, 4);
+  const PacketId base = kControlIdBase;
+  Scripted proto;
+  proto.at(0, tx(0, 1, base + 5));
+  proto.at(1, tx(0, 2, base + 5));  // other node: fine
+  proto.at(2, tx(2, 1, base + 5));  // duplicate at node 1
+  Engine engine(topo, proto);
+  engine.run_until(2);
+  EXPECT_EQ(engine.stats().duplicate_deliveries, 0);
+  EXPECT_THROW(engine.run_until(3), ProtocolViolation);
+}
+
+TEST(Engine, DeliveriesAreCounted) {
+  net::UniformCluster topo(3, 2);
+  Scripted proto;
+  proto.at(0, tx(0, 1, 0));
+  proto.at(0, tx(0, 2, 1));
+  proto.at(1, tx(1, 2, 0));
+  DropListed model({1});
+  Engine engine(topo, proto);
+  engine.set_loss_model(&model);
+  engine.run_until(2);
+  EXPECT_EQ(engine.stats().transmissions, 3);
+  EXPECT_EQ(engine.stats().drops, 1);
+  EXPECT_EQ(engine.stats().deliveries, 2);
+}
+
 TEST(Trace, QueriesBySenderReceiverAndSlot) {
   Trace trace;
   trace.record(Delivery{.sent = 0, .received = 0, .tx = tx(0, 1, 5)});

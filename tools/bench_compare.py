@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Compare a BENCH_engine.json run against the checked-in baseline.
+
+Usage:
+    tools/bench_compare.py CURRENT.json [BASELINE.json]
+                           [--tolerance 0.10] [--update]
+
+Fails (exit 1) when the current run regresses:
+  * ``byte_identical`` is false — the parallel runner broke determinism;
+  * serial ``slots_per_sec`` fell more than ``--tolerance`` below baseline;
+  * parallel ``slots_per_sec`` or ``speedup`` fell more than the tolerance
+    below baseline, compared only when both runs used the same thread
+    count (a 1-core shard is not a regression relative to an 8-core one).
+
+``--update`` rewrites the baseline with the current run instead of
+comparing, for intentional re-baselining after a hardware or engine
+change.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import shutil
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "BENCH_engine.json"
+
+
+def load(path: pathlib.Path) -> dict:
+    try:
+        with path.open() as fh:
+            return json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"bench_compare: cannot read {path}: {err}")
+
+
+def check_ratio(label: str, current: float, baseline: float,
+                tolerance: float) -> list[str]:
+    if baseline <= 0:
+        return []
+    ratio = current / baseline
+    verdict = "OK" if ratio >= 1.0 - tolerance else "REGRESSION"
+    print(f"  {label:28s} {current:14.1f} vs {baseline:14.1f} "
+          f"({ratio:6.2%}) {verdict}")
+    if verdict == "REGRESSION":
+        return [f"{label}: {current:.1f} < {baseline:.1f} "
+                f"- {tolerance:.0%} tolerance"]
+    return []
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", type=pathlib.Path)
+    parser.add_argument("baseline", type=pathlib.Path, nargs="?",
+                        default=DEFAULT_BASELINE)
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="allowed fractional slowdown (default 0.10)")
+    parser.add_argument("--update", action="store_true",
+                        help="overwrite the baseline with the current run")
+    args = parser.parse_args()
+
+    current = load(args.current)
+
+    if args.update:
+        shutil.copyfile(args.current, args.baseline)
+        print(f"bench_compare: baseline {args.baseline} updated")
+        return 0
+
+    baseline = load(args.baseline)
+    failures: list[str] = []
+
+    if not current.get("byte_identical", False):
+        failures.append("parallel reports are not byte-identical to serial")
+
+    print(f"bench_compare: {args.current} vs {args.baseline} "
+          f"(tolerance {args.tolerance:.0%})")
+    failures += check_ratio(
+        "serial slots/sec",
+        current["serial"]["slots_per_sec"],
+        baseline["serial"]["slots_per_sec"],
+        args.tolerance,
+    )
+    failures += check_ratio(
+        "serial deliveries/sec",
+        current["serial"]["deliveries_per_sec"],
+        baseline["serial"]["deliveries_per_sec"],
+        args.tolerance,
+    )
+
+    cur_threads = current["parallel"]["threads"]
+    base_threads = baseline["parallel"]["threads"]
+    if cur_threads == base_threads:
+        failures += check_ratio(
+            "parallel slots/sec",
+            current["parallel"]["slots_per_sec"],
+            baseline["parallel"]["slots_per_sec"],
+            args.tolerance,
+        )
+        failures += check_ratio(
+            "speedup",
+            current["speedup"],
+            baseline["speedup"],
+            args.tolerance,
+        )
+    else:
+        print(f"  parallel metrics skipped: thread counts differ "
+              f"({cur_threads} vs baseline {base_threads})")
+
+    if failures:
+        print("bench_compare: FAIL")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("bench_compare: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,6 +17,19 @@ lint enforces the three ways that property historically rots:
                implementation-defined; iterating it in a simulation or
                metrics path silently reorders tie-breaks. Keyed lookups are
                fine; iteration must use an ordered container or a sort.
+  raw-thread — std::thread construction. Raw threads detach from the sweep
+               runner's join/exception discipline; a thread left unjoined
+               at scope exit terminates the process, and one joined ad hoc
+               reintroduces completion-order dependence. Spawn workers as
+               std::jthread (or go through run::parallel_for), which joins
+               deterministically on scope exit.
+               (std::thread::hardware_concurrency() is fine — it is a
+               query, not a spawn.)
+  sweep-capture — a default-by-reference [&] lambda on a run::parallel_for
+               or run::run_sweep call line. Capturing everything by
+               reference from sweep workers is how shared mutable state
+               sneaks across threads; sweep bodies must name their
+               captures so each one is auditable.
 
 Suppress a deliberate use with a same-line comment:  // lint: allow(<rule>)
 
@@ -48,6 +61,17 @@ RULES = {
         re.compile(r"\bgettimeofday\s*\("),
         re.compile(r"\b(localtime|gmtime|ctime)\s*\("),
         re.compile(r"CLOCK_REALTIME"),
+    ],
+    # Negative lookahead: std::thread::hardware_concurrency() and other
+    # static queries are allowed; constructing std::thread is not.
+    "raw-thread": [
+        re.compile(r"std::thread\b(?!::)"),
+    ],
+    # A default [&] capture feeding the sweep runner: every capture in a
+    # worker body must be named (see run/sweep.hpp).
+    "sweep-capture": [
+        re.compile(r"(parallel_for|run_sweep)\s*\(.*\[\s*&\s*\]"),
+        re.compile(r"\[\s*&\s*\].*\b(parallel_for|run_sweep)\s*\("),
     ],
 }
 
