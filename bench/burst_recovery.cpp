@@ -41,7 +41,7 @@ int main() {
   bool ok = true;
 
   core::SessionConfig base{
-      .scheme = core::Scheme::kMultiTreeGreedy, .n = 63, .d = 2};
+      .scheme = core::parse_scheme("multi-tree/greedy"), .n = 63, .d = 2};
   const core::QosReport plain = core::StreamingSession(base).run();
 
   for (const double burst : bursts) {

@@ -8,39 +8,24 @@
 // conclusion): staircase log_d(N) growth, degrees 2 and 3 nearly tied and
 // below degrees 4 and 5 everywhere.
 //
-// The cross-check simulations — the expensive part of this bench — run on
-// the deterministic parallel sweep runner; each grid point owns its engine
-// and writes only its own slot, so the table is identical at any thread
-// count.
+// The cross-check simulations — the expensive part of this bench — run one
+// StreamingSession per grid point on the deterministic parallel sweep
+// runner (the registry + RunPipeline reproduce the schedule the hand-rolled
+// engine wiring used to, a contract locked by scheme_registry_test).
 #include <iostream>
 #include <vector>
 
 #include "bench/bench_util.hpp"
-#include "src/metrics/delay.hpp"
+#include "src/core/session.hpp"
 #include "src/multitree/analysis.hpp"
 #include "src/multitree/greedy.hpp"
-#include "src/multitree/protocol.hpp"
 #include "src/multitree/schedule.hpp"
-#include "src/net/topology.hpp"
 #include "src/run/sweep.hpp"
-#include "src/sim/engine.hpp"
 #include "src/util/table.hpp"
 
 namespace {
 
 using namespace streamcast;
-
-sim::Slot simulated_worst(sim::NodeKey n, int d) {
-  const multitree::Forest f = multitree::build_greedy(n, d);
-  net::UniformCluster topo(n, d);
-  multitree::MultiTreeProtocol proto(f);
-  sim::Engine engine(topo, proto);
-  const sim::PacketId window = 2 * d * (f.height() + 2);
-  metrics::DelayRecorder rec(n + 1, window);
-  engine.add_observer(rec);
-  engine.run_until(window + multitree::worst_delay_bound(n, d) + 3 * d + 4);
-  return rec.worst_delay(1, n);
-}
 
 }  // namespace
 
@@ -73,13 +58,18 @@ int main() {
       grid.push_back({n, d});
     }
   }
+  std::vector<core::SessionConfig> tasks;
+  for (const GridPoint& p : grid) {
+    tasks.push_back({.scheme = core::Scheme::kMultiTreeGreedy,
+                     .n = p.n,
+                     .d = p.d});
+  }
+  const auto results = run::run_sweep(tasks);
+  run::require_all(results);
   std::vector<sim::Slot> simulated(grid.size());
-  run::parallel_for(
-      grid.size(),
-      [&grid, &simulated](std::size_t i) {
-        simulated[i] = simulated_worst(grid[i].n, grid[i].d);
-      },
-      {});
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    simulated[i] = results[i].qos.worst_delay;
+  }
   for (std::size_t i = 0; i < grid.size(); ++i) {
     const multitree::Forest f =
         multitree::build_greedy(grid[i].n, grid[i].d);

@@ -25,16 +25,19 @@ int main() {
                 "Bernoulli erasures x scheme, NACK recovery "
                 "(rates 0 / 0.01 / 0.05 / 0.1)");
 
+  // Rows name schemes by their canonical registry names; core::parse_scheme
+  // resolves them, so a typo fails at startup instead of benchmarking the
+  // wrong scheme.
   const struct {
     const char* label;
-    core::Scheme scheme;
+    const char* scheme;
     sim::NodeKey n;
     int d;
   } schemes[] = {
-      {"multi-tree d=2", core::Scheme::kMultiTreeGreedy, 63, 2},
-      {"multi-tree d=3", core::Scheme::kMultiTreeGreedy, 63, 3},
-      {"hypercube", core::Scheme::kHypercube, 63, 1},
-      {"single-tree d=2", core::Scheme::kSingleTree, 63, 2},
+      {"multi-tree d=2", "multi-tree/greedy", 63, 2},
+      {"multi-tree d=3", "multi-tree/greedy", 63, 3},
+      {"hypercube", "hypercube", 63, 1},
+      {"single-tree d=2", "single-tree", 63, 2},
   };
   const double rates[] = {0.0, 0.01, 0.05, 0.1};
 
@@ -48,7 +51,8 @@ int main() {
   bool ok = true;
 
   for (const auto& s : schemes) {
-    core::SessionConfig cfg{.scheme = s.scheme, .n = s.n, .d = s.d};
+    core::SessionConfig cfg{
+        .scheme = core::parse_scheme(s.scheme), .n = s.n, .d = s.d};
     const core::QosReport plain = core::StreamingSession(cfg).run();
 
     for (const double p : rates) {

@@ -15,6 +15,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
+#include <stdexcept>
 #include <fstream>
 #include <limits>
 #include <iostream>
@@ -33,31 +35,38 @@ namespace {
 using core::Scheme;
 using core::SessionConfig;
 
-/// The canonical grid: every scheme at sizes large enough that the engine
-/// hot path (slot stepping, duplicate filtering, delivery ring) dominates.
+/// One canonical grid point, keyed by the registry's canonical scheme name
+/// (core::parse_scheme resolves it, so a typo here fails loudly at startup
+/// instead of silently benchmarking the wrong scheme).
+struct GridPoint {
+  const char* scheme;
+  sim::NodeKey n;
+  int d;
+};
+
+/// The canonical grid: every registered scheme at sizes large enough that
+/// the engine hot path (slot stepping, duplicate filtering, delivery ring)
+/// dominates. Degree-sweep schemes get two d values per size.
+constexpr GridPoint kGridPoints[] = {
+    {"multi-tree/structured", 63, 2},  {"multi-tree/structured", 63, 3},
+    {"multi-tree/structured", 255, 2}, {"multi-tree/structured", 255, 3},
+    {"multi-tree/structured", 511, 2}, {"multi-tree/structured", 511, 3},
+    {"multi-tree/greedy", 63, 2},      {"multi-tree/greedy", 63, 3},
+    {"multi-tree/greedy", 255, 2},     {"multi-tree/greedy", 255, 3},
+    {"multi-tree/greedy", 511, 2},     {"multi-tree/greedy", 511, 3},
+    {"hypercube", 63, 1},              {"hypercube", 255, 1},
+    {"hypercube", 1023, 1},            {"hypercube/grouped", 90, 2},
+    {"hypercube/grouped", 90, 3},      {"hypercube/grouped", 252, 2},
+    {"hypercube/grouped", 252, 3},     {"chain", 200, 1},
+    {"chain", 400, 1},                 {"single-tree", 255, 2},
+    {"single-tree", 1023, 2},
+};
+
 std::vector<SessionConfig> canonical_grid() {
   std::vector<SessionConfig> tasks;
-  for (const Scheme scheme :
-       {Scheme::kMultiTreeStructured, Scheme::kMultiTreeGreedy}) {
-    for (const sim::NodeKey n : {63, 255, 511}) {
-      for (const int d : {2, 3}) {
-        tasks.push_back({.scheme = scheme, .n = n, .d = d});
-      }
-    }
-  }
-  for (const sim::NodeKey n : {63, 255, 1023}) {
-    tasks.push_back({.scheme = Scheme::kHypercube, .n = n, .d = 1});
-  }
-  for (const sim::NodeKey n : {90, 252}) {
-    for (const int d : {2, 3}) {
-      tasks.push_back({.scheme = Scheme::kHypercubeGrouped, .n = n, .d = d});
-    }
-  }
-  for (const sim::NodeKey n : {200, 400}) {
-    tasks.push_back({.scheme = Scheme::kChain, .n = n, .d = 1});
-  }
-  for (const sim::NodeKey n : {255, 1023}) {
-    tasks.push_back({.scheme = Scheme::kSingleTree, .n = n, .d = 2});
+  for (const GridPoint& p : kGridPoints) {
+    tasks.push_back(
+        {.scheme = core::parse_scheme(p.scheme), .n = p.n, .d = p.d});
   }
   // Seeded lossy tasks keep the recovery path in the measured mix.
   for (const double rate : {0.02, 0.05}) {
@@ -68,6 +77,48 @@ std::vector<SessionConfig> canonical_grid() {
     tasks.push_back(lossy);
   }
   return tasks;
+}
+
+/// Parses the --schemes=a,b,c filter through core::parse_scheme; an unknown
+/// name aborts with the registry's canonical list.
+std::vector<Scheme> parse_scheme_filter(const std::string& csv) {
+  std::vector<Scheme> schemes;
+  std::istringstream in(csv);
+  std::string name;
+  while (std::getline(in, name, ',')) {
+    if (name.empty()) continue;
+    try {
+      schemes.push_back(core::parse_scheme(name));
+    } catch (const std::invalid_argument&) {
+      std::cerr << "unknown scheme: " << name << "\nvalid names:";
+      for (const auto& desc : scheme::all()) std::cerr << ' ' << desc.name;
+      std::cerr << "\n";
+      std::exit(2);
+    }
+  }
+  return schemes;
+}
+
+std::vector<SessionConfig> filter_grid(std::vector<SessionConfig> tasks,
+                                       const std::vector<Scheme>& keep) {
+  if (keep.empty()) return tasks;
+  std::erase_if(tasks, [&](const SessionConfig& cfg) {
+    return std::find(keep.begin(), keep.end(), cfg.scheme) == keep.end();
+  });
+  return tasks;
+}
+
+/// Distinct canonical scheme names present in the grid, in grid order.
+std::vector<std::string> grid_schemes(
+    const std::vector<SessionConfig>& tasks) {
+  std::vector<std::string> names;
+  for (const SessionConfig& cfg : tasks) {
+    const std::string name = core::scheme_name(cfg.scheme);
+    if (std::find(names.begin(), names.end(), name) == names.end()) {
+      names.push_back(name);
+    }
+  }
+  return names;
 }
 
 std::string render(const std::vector<run::TaskResult>& results) {
@@ -154,8 +205,23 @@ int main(int argc, char** argv) {
   bench::banner("BENCH_engine",
                 "engine hot-path + parallel sweep runner throughput");
 
-  const std::string out_path = argc > 1 ? argv[1] : "BENCH_engine.json";
-  const auto tasks = canonical_grid();
+  std::string out_path = "BENCH_engine.json";
+  std::vector<Scheme> keep;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--schemes=", 0) == 0) {
+      keep = parse_scheme_filter(arg.substr(10));
+    } else if (arg == "--schemes" && i + 1 < argc) {
+      keep = parse_scheme_filter(argv[++i]);
+    } else {
+      out_path = arg;
+    }
+  }
+  const auto tasks = filter_grid(canonical_grid(), keep);
+  if (tasks.empty()) {
+    std::cerr << "scheme filter matched no grid tasks\n";
+    return 2;
+  }
   const int parallel_threads = run::resolve_threads(0);
   const unsigned hardware =
       std::max(1u, std::thread::hardware_concurrency());
@@ -183,6 +249,13 @@ int main(int argc, char** argv) {
   std::ofstream out(out_path);
   out << "{\n"
       << "  \"grid_tasks\": " << tasks.size() << ",\n"
+      << "  \"filtered\": " << (keep.empty() ? "false" : "true") << ",\n"
+      << "  \"schemes\": [";
+  const auto names = grid_schemes(tasks);
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    out << (i == 0 ? "" : ", ") << '"' << names[i] << '"';
+  }
+  out << "],\n"
       << "  \"hardware_threads\": " << hardware << ",\n"
       << "  \"byte_identical\": " << (byte_identical ? "true" : "false")
       << ",\n";

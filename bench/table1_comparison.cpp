@@ -26,8 +26,11 @@ using namespace streamcast;
 std::vector<core::SessionConfig> g_tasks;
 std::vector<run::TaskResult> g_results;
 
-std::size_t plan(core::Scheme scheme, sim::NodeKey n, int d) {
-  g_tasks.push_back(core::SessionConfig{.scheme = scheme, .n = n, .d = d});
+// Cells are planned by canonical registry name (core::parse_scheme), so
+// the bench exercises the same name surface the CLI and tooling use.
+std::size_t plan(const char* scheme, sim::NodeKey n, int d) {
+  g_tasks.push_back(core::SessionConfig{
+      .scheme = core::parse_scheme(scheme), .n = n, .d = d});
   return g_tasks.size() - 1;
 }
 
@@ -61,14 +64,14 @@ int main() {
   };
   std::vector<SpecialRow> special;
   for (const sim::NodeKey n : {63, 255, 1023, 4095}) {  // special N = 2^k-1
-    special.push_back({plan(core::Scheme::kMultiTreeGreedy, n, d),
-                       plan(core::Scheme::kHypercube, n, 1)});
+    special.push_back({plan("multi-tree/greedy", n, d),
+                       plan("hypercube", n, 1)});
   }
   std::vector<ArbitraryRow> arbitrary;
   for (const sim::NodeKey n : {100, 500, 2000}) {  // arbitrary N
-    arbitrary.push_back({plan(core::Scheme::kMultiTreeGreedy, n, d),
-                         plan(core::Scheme::kHypercube, n, 1),
-                         plan(core::Scheme::kHypercubeGrouped, n, d)});
+    arbitrary.push_back({plan("multi-tree/greedy", n, d),
+                         plan("hypercube", n, 1),
+                         plan("hypercube/grouped", n, d)});
   }
   g_results = run::run_sweep(g_tasks);
   run::require_all(g_results);

@@ -8,7 +8,10 @@
 //
 // All (N, scheme, d) points run as one sweep on the deterministic parallel
 // runner: results come back in submission order, so the printed frontier is
-// identical at any thread count.
+// identical at any thread count. The scheme list comes from the registry:
+// every registered scheme appears, swept over d in {2..5} when its
+// degree_sweep capability says d is meaningful, else pinned at d = 1 —
+// adding scheme #7 adds its frontier points without touching this file.
 #include <cstddef>
 #include <iostream>
 #include <vector>
@@ -16,6 +19,7 @@
 #include "bench/bench_util.hpp"
 #include "src/core/session.hpp"
 #include "src/run/sweep.hpp"
+#include "src/scheme/registry.hpp"
 #include "src/util/table.hpp"
 
 int main() {
@@ -24,17 +28,18 @@ int main() {
                 "measured (worst delay, worst buffer, neighbors) per scheme");
 
   std::vector<core::SessionConfig> tasks;
+  std::size_t cells_per_n = 0;
   for (const sim::NodeKey n : {255, 1000, 4000}) {
-    for (const int d : {2, 3, 4, 5}) {
-      tasks.push_back({.scheme = core::Scheme::kMultiTreeGreedy, .n = n,
-                       .d = d});
+    cells_per_n = 0;
+    for (const scheme::Descriptor& desc : scheme::all()) {
+      const std::vector<int> degrees =
+          desc.caps.degree_sweep ? std::vector<int>{2, 3, 4, 5}
+                                 : std::vector<int>{1};
+      for (const int d : degrees) {
+        tasks.push_back({.scheme = desc.id, .n = n, .d = d});
+        ++cells_per_n;
+      }
     }
-    tasks.push_back({.scheme = core::Scheme::kHypercube, .n = n, .d = 1});
-    for (const int d : {2, 4}) {
-      tasks.push_back({.scheme = core::Scheme::kHypercubeGrouped, .n = n,
-                       .d = d});
-    }
-    tasks.push_back({.scheme = core::Scheme::kChain, .n = n, .d = 1});
   }
   const auto results = run::run_sweep(tasks);
   run::require_all(results);
@@ -44,8 +49,7 @@ int main() {
     std::cout << "N = " << n << ":\n";
     util::Table table({"scheme", "d", "worst delay", "worst buffer",
                        "max neighbors", "delay*buffer"});
-    constexpr std::size_t kCellsPerN = 8;
-    for (std::size_t cell = 0; cell < kCellsPerN; ++cell, ++next) {
+    for (std::size_t cell = 0; cell < cells_per_n; ++cell, ++next) {
       const core::QosReport& r = results[next].qos;
       table.add_row(
           {r.scheme, util::cell(tasks[next].d), util::cell(r.worst_delay),

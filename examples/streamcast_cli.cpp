@@ -11,6 +11,7 @@
 // one-binary front end to the whole library.
 #include <cstdlib>
 #include <cstring>
+#include <stdexcept>
 #include <iostream>
 #include <map>
 #include <string>
@@ -25,8 +26,11 @@ using namespace streamcast;
 void usage() {
   std::cerr <<
       "usage: streamcast_cli [options]\n"
-      "  --scheme S    multitree | structured | hypercube | grouped |\n"
-      "                chain | singletree            (default multitree)\n"
+      "  --scheme S    a canonical registry name (multi-tree/greedy,\n"
+      "                multi-tree/structured, hypercube, hypercube/grouped,\n"
+      "                chain, single-tree) or a legacy alias (multitree,\n"
+      "                structured, grouped, singletree)\n"
+      "                                              (default multitree)\n"
       "  --n N         receivers (per cluster)       (default 200)\n"
       "  --d D         degree / source capacity      (default 2)\n"
       "  --mode M      prerecorded | prebuffered | pipelined\n"
@@ -45,12 +49,12 @@ int main(int argc, char** argv) {
                           .d = 2};
   bool csv = false;
 
-  const std::map<std::string, core::Scheme> schemes{
+  // Legacy short aliases; anything else goes through core::parse_scheme,
+  // so every canonical registry name works directly.
+  const std::map<std::string, core::Scheme> aliases{
       {"multitree", core::Scheme::kMultiTreeGreedy},
       {"structured", core::Scheme::kMultiTreeStructured},
-      {"hypercube", core::Scheme::kHypercube},
       {"grouped", core::Scheme::kHypercubeGrouped},
-      {"chain", core::Scheme::kChain},
       {"singletree", core::Scheme::kSingleTree}};
   const std::map<std::string, multitree::StreamMode> modes{
       {"prerecorded", multitree::StreamMode::kPreRecorded},
@@ -67,12 +71,18 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--scheme") {
-      const auto it = schemes.find(value());
-      if (it == schemes.end()) {
-        usage();
-        return 1;
+      const std::string name = value();
+      const auto it = aliases.find(name);
+      if (it != aliases.end()) {
+        cfg.scheme = it->second;
+      } else {
+        try {
+          cfg.scheme = core::parse_scheme(name);
+        } catch (const std::invalid_argument&) {
+          usage();
+          return 1;
+        }
       }
-      cfg.scheme = it->second;
     } else if (arg == "--n") {
       cfg.n = std::atoi(value());
     } else if (arg == "--d") {

@@ -2,6 +2,8 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <string_view>
 
 #include "src/loss/model.hpp"
 #include "src/loss/recovery.hpp"
@@ -24,7 +26,17 @@ enum class Scheme {
   kSingleTree,           // §1 strawman with d-times receiver upload
 };
 
+/// Canonical scheme name (the SchemeRegistry descriptor's name field).
 const char* scheme_name(Scheme s);
+
+/// Exact inverse of scheme_name(): parses a canonical name back to the
+/// enumerator. Throws std::invalid_argument on an unknown name.
+Scheme parse_scheme(std::string_view name);
+
+/// The QosReport::scheme label: the bare canonical name for a single
+/// cluster, "<name> x<K> clusters" for a multi-cluster run. The one place
+/// that string is formatted.
+std::string scheme_label(Scheme s, int clusters = 1);
 
 /// Lossy-link extension of a session (single cluster only). The default —
 /// model == kNone — is exactly the reliable run; nothing is wrapped.

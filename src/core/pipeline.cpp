@@ -1,0 +1,158 @@
+#include "src/core/pipeline.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/metrics/buffers.hpp"
+
+namespace streamcast::core {
+
+ObserverStack::ObserverStack(const net::Topology& topology,
+                             const ObserverSpec& spec)
+    : delays_(spec.node_span, spec.window),
+      neighbors_(spec.node_span),
+      trace_(spec.trace) {
+  if (spec.continuity) continuity_.emplace(spec.node_span, spec.window);
+  if (spec.audit) auditor_.emplace(topology, spec.audit_options);
+}
+
+void ObserverStack::attach(sim::Engine& engine,
+                           loss::RecoveryProtocol* recovery) {
+  if (recovery == nullptr) {
+    engine.add_observer(delays_);
+    engine.add_observer(neighbors_);
+  }
+  if (auditor_) engine.add_observer(*auditor_);
+  if (recovery != nullptr) {
+    // Metrics observe the post-repair stream (repairs and FEC decodes count
+    // as arrivals), so they attach to the recovery layer, not the engine.
+    recovery->add_observer(delays_);
+    recovery->add_observer(neighbors_);
+    if (continuity_) recovery->add_observer(*continuity_);
+  }
+  if (trace_ != nullptr) engine.add_observer(*trace_);
+}
+
+void ObserverStack::require_clean() {
+  if (auditor_) auditor_->require_clean();
+}
+
+RunPipeline::RunPipeline(net::Topology& topology, sim::Protocol& protocol,
+                         const ObserverSpec& observers,
+                         loss::LossModel* loss_model,
+                         loss::RecoveryProtocol* recovery)
+    : engine_(topology, protocol),
+      observers_(topology, observers),
+      recovery_(recovery),
+      window_(observers.window) {
+  if (loss_model != nullptr) engine_.set_loss_model(loss_model);
+  // The recovery layer observes the engine for drop reports and post-repair
+  // fan-out, ahead of the auditor in the observer order.
+  if (recovery_ != nullptr) engine_.add_observer(*recovery_);
+  observers_.attach(engine_, recovery_);
+}
+
+void RunPipeline::run(Slot horizon, DrainPolicy drain) {
+  engine_.run_until(horizon);
+  if (recovery_ != nullptr && drain.max_drain > 0) {
+    // Drain: keep simulating in small chunks until every receiver's
+    // gap-free prefix covers the window, or the drain budget runs out.
+    while (!recovery_->all_gap_free(drain.from, drain.to, window_) &&
+           drained_ < drain.max_drain) {
+      const Slot chunk = std::min<Slot>(32, drain.max_drain - drained_);
+      drained_ += chunk;
+      engine_.run_until(horizon + drained_);
+    }
+  }
+  end_ = horizon + drained_;
+  observers_.require_clean();
+}
+
+QosReport RunPipeline::aggregate(const Aggregation& agg,
+                                 NodeKey* incomplete) const {
+  QosReport report;
+  report.scheme = agg.label;
+  report.n = agg.report_n;
+  report.d = agg.d;
+  report.transmissions = engine_.stats().transmissions;
+  report.slots_simulated = end_;
+  report.drops = engine_.stats().drops;
+  report.retransmissions = engine_.stats().retransmissions;
+
+  const metrics::DelayRecorder& delays = observers_.delays();
+  double delay_sum = 0;
+  double buffer_sum = 0;
+  NodeKey complete = 0;
+  for (const NodeKey key : agg.receivers) {
+    const auto a = delays.playback_delay(key);
+    if (!a) {
+      if (!agg.skip_incomplete) {
+        throw std::logic_error("receiver window incomplete");
+      }
+      if (incomplete != nullptr) ++*incomplete;
+      continue;
+    }
+    report.worst_delay = std::max(report.worst_delay, *a);
+    delay_sum += static_cast<double>(*a);
+    std::vector<Slot> row(static_cast<std::size_t>(window_));
+    for (PacketId j = 0; j < window_; ++j) {
+      row[static_cast<std::size_t>(j)] = delays.arrival(key, j);
+    }
+    const std::size_t occ = metrics::max_buffer_occupancy(row, *a);
+    report.max_buffer = std::max(report.max_buffer, occ);
+    buffer_sum += static_cast<double>(occ);
+    ++complete;
+  }
+  if (complete > 0) {
+    report.average_delay = delay_sum / static_cast<double>(complete);
+    report.average_buffer = buffer_sum / static_cast<double>(complete);
+  }
+
+  // Neighbor counts cover every receiver, complete window or not: partners
+  // were observed either way.
+  const metrics::NeighborRecorder& neighbors = observers_.neighbors();
+  double neighbor_sum = 0;
+  for (const NodeKey key : agg.receivers) {
+    report.max_neighbors = std::max(report.max_neighbors,
+                                    neighbors.count(key));
+    neighbor_sum += static_cast<double>(neighbors.count(key));
+  }
+  if (!agg.receivers.empty()) {
+    report.average_neighbors =
+        neighbor_sum / static_cast<double>(agg.receivers.size());
+  }
+  return report;
+}
+
+LossSummary RunPipeline::loss_summary(const LossConfig& loss, NodeKey from,
+                                      NodeKey to, Slot worst_delay) const {
+  if (recovery_ == nullptr) {
+    throw std::logic_error("loss_summary requires the lossy wiring");
+  }
+  LossSummary summary;
+  const loss::RecoveryStats& rs = recovery_->stats();
+  summary.drops = engine_.stats().drops;
+  summary.retransmissions = rs.retransmissions;
+  summary.parity_transmissions = rs.parity_transmissions;
+  summary.fec_decodes = rs.fec_decodes;
+  summary.suppressed = rs.suppressed_causal + rs.suppressed_redundant;
+  summary.nacks = rs.nacks;
+  summary.redundancy_overhead = rs.redundancy_overhead();
+  summary.all_gap_free = recovery_->all_gap_free(from, to, window_);
+  summary.drain_slots = drained_;
+
+  const metrics::ContinuityRecorder* continuity = observers_.continuity();
+  if (continuity != nullptr) {
+    const Slot playback_start =
+        loss.playback_start >= 0 ? loss.playback_start : worst_delay;
+    for (NodeKey x = from; x <= to; ++x) {
+      const auto cr = continuity->report(x, playback_start, end_);
+      summary.stalls = std::max(summary.stalls, cr.stalls);
+      summary.stall_slots = std::max(summary.stall_slots, cr.stall_slots);
+      summary.undecodable += cr.undecodable;
+    }
+  }
+  return summary;
+}
+
+}  // namespace streamcast::core

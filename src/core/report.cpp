@@ -23,4 +23,46 @@ std::ostream& operator<<(std::ostream& os, const QosReport& r) {
   return os << r.summary();
 }
 
+namespace {
+
+std::string fp(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::string serialize(const QosReport& r) {
+  std::ostringstream os;
+  os << "qos scheme=" << r.scheme << " n=" << r.n << " d=" << r.d
+     << " worst_delay=" << r.worst_delay
+     << " average_delay=" << fp(r.average_delay)
+     << " max_buffer=" << r.max_buffer
+     << " average_buffer=" << fp(r.average_buffer)
+     << " max_neighbors=" << r.max_neighbors
+     << " average_neighbors=" << fp(r.average_neighbors)
+     << " transmissions=" << r.transmissions
+     << " slots_simulated=" << r.slots_simulated << " drops=" << r.drops
+     << " retransmissions=" << r.retransmissions;
+  return os.str();
+}
+
+std::string serialize(const LossRunResult& r) {
+  std::ostringstream os;
+  os << serialize(r.qos) << "\nloss drops=" << r.loss.drops
+     << " retransmissions=" << r.loss.retransmissions
+     << " parity_transmissions=" << r.loss.parity_transmissions
+     << " fec_decodes=" << r.loss.fec_decodes
+     << " suppressed=" << r.loss.suppressed << " nacks=" << r.loss.nacks
+     << " redundancy_overhead=" << fp(r.loss.redundancy_overhead)
+     << " all_gap_free=" << (r.loss.all_gap_free ? 1 : 0)
+     << " stalls=" << r.loss.stalls << " stall_slots=" << r.loss.stall_slots
+     << " undecodable=" << r.loss.undecodable
+     << " drain_slots=" << r.loss.drain_slots
+     << " incomplete_nodes=" << r.loss.incomplete_nodes;
+  return os.str();
+}
+
 }  // namespace streamcast::core

@@ -34,4 +34,41 @@ struct QosReport {
 
 std::ostream& operator<<(std::ostream& os, const QosReport& r);
 
+/// Loss-subsystem outcome of a lossy run, alongside the usual QosReport.
+struct LossSummary {
+  std::int64_t drops = 0;
+  std::int64_t retransmissions = 0;
+  std::int64_t parity_transmissions = 0;
+  std::int64_t fec_decodes = 0;
+  std::int64_t suppressed = 0;
+  std::int64_t nacks = 0;
+  /// (retransmissions + parity) / data transmissions.
+  double redundancy_overhead = 0;
+  /// Every receiver holds the gap-free prefix [0, window) at the end.
+  bool all_gap_free = false;
+  /// Worst per-receiver stall count / stalled slots when playback starts at
+  /// LossConfig::playback_start (continuity metrics).
+  int stalls = 0;
+  sim::Slot stall_slots = 0;
+  /// Window packets (summed over receivers) never delivered by the horizon.
+  sim::PacketId undecodable = 0;
+  /// Extra slots simulated past the reliable horizon to let repairs land.
+  sim::Slot drain_slots = 0;
+  /// Receivers whose measurement window stayed incomplete (excluded from
+  /// the delay/buffer aggregates).
+  sim::NodeKey incomplete_nodes = 0;
+};
+
+struct LossRunResult {
+  QosReport qos;
+  LossSummary loss;
+};
+
+/// Canonical byte-exact rendering of every report field (doubles at 17
+/// significant digits), used by the golden parity suite and available for
+/// diffing runs. One line for a QosReport, a second "loss ..." line for a
+/// LossRunResult.
+std::string serialize(const QosReport& r);
+std::string serialize(const LossRunResult& r);
+
 }  // namespace streamcast::core

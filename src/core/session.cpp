@@ -1,47 +1,18 @@
 #include "src/core/session.hpp"
 
-#include <algorithm>
 #include <memory>
-#include <optional>
+#include <numeric>
 #include <stdexcept>
+#include <vector>
 
-#include "src/audit/auditor.hpp"
-#include "src/baseline/chain.hpp"
-#include "src/baseline/single_tree.hpp"
-#include "src/hypercube/analysis.hpp"
-#include "src/hypercube/protocol.hpp"
+#include "src/core/pipeline.hpp"
 #include "src/loss/model.hpp"
 #include "src/loss/recovery.hpp"
-#include "src/metrics/buffers.hpp"
-#include "src/metrics/continuity.hpp"
-#include "src/metrics/delay.hpp"
-#include "src/metrics/neighbors.hpp"
 #include "src/multitree/analysis.hpp"
-#include "src/multitree/greedy.hpp"
-#include "src/multitree/structured.hpp"
-#include "src/sim/engine.hpp"
-#include "src/supertree/analysis.hpp"
+#include "src/scheme/registry.hpp"
 #include "src/supertree/protocol.hpp"
 
 namespace streamcast::core {
-
-const char* scheme_name(Scheme s) {
-  switch (s) {
-    case Scheme::kMultiTreeStructured:
-      return "multi-tree/structured";
-    case Scheme::kMultiTreeGreedy:
-      return "multi-tree/greedy";
-    case Scheme::kHypercube:
-      return "hypercube";
-    case Scheme::kHypercubeGrouped:
-      return "hypercube/grouped";
-    case Scheme::kChain:
-      return "chain";
-    case Scheme::kSingleTree:
-      return "single-tree";
-  }
-  return "?";
-}
 
 StreamingSession::StreamingSession(SessionConfig config)
     : config_(config) {
@@ -49,14 +20,17 @@ StreamingSession::StreamingSession(SessionConfig config)
   if (config_.d < 1) throw std::invalid_argument("d < 1");
   if (config_.clusters < 1) throw std::invalid_argument("clusters < 1");
   if (config_.clusters > 1) {
-    if (config_.scheme != Scheme::kMultiTreeGreedy &&
-        config_.scheme != Scheme::kHypercube) {
+    if (!scheme::descriptor(config_.scheme).caps.multicluster) {
       throw std::invalid_argument(
           "multi-cluster sessions support kMultiTreeGreedy or kHypercube");
     }
     if (config_.loss.model != loss::ErasureKind::kNone) {
       throw std::invalid_argument("lossy links require clusters == 1");
     }
+  }
+  if (config_.loss.model != loss::ErasureKind::kNone &&
+      !scheme::descriptor(config_.scheme).caps.lossy_links) {
+    throw std::invalid_argument("scheme does not support lossy links");
   }
   if (config_.loss.fec_window < 1) throw std::invalid_argument("fec_window < 1");
   if (config_.loss.extra_send < 0 || config_.loss.extra_recv < 0) {
@@ -66,34 +40,41 @@ StreamingSession::StreamingSession(SessionConfig config)
 
 namespace {
 
-/// Cross-cluster run: the super-tree τ with the chosen intra scheme;
+/// Receivers 1..n of a single cluster, in key order.
+std::vector<NodeKey> cluster_receivers(NodeKey n) {
+  std::vector<NodeKey> keys(static_cast<std::size_t>(n));
+  std::iota(keys.begin(), keys.end(), NodeKey{1});
+  return keys;
+}
+
+/// Cross-cluster run: the super-tree τ with the registry's intra scheme;
 /// metrics aggregated over every cluster's receivers.
 QosReport run_multicluster(const SessionConfig& config) {
+  const scheme::Descriptor& desc = scheme::descriptor(config.scheme);
   const NodeKey n = config.n;
   std::vector<net::ClusteredTopology::ClusterSpec> specs(
       static_cast<std::size_t>(config.clusters),
       net::ClusteredTopology::ClusterSpec{n});
   net::ClusteredTopology topo(specs, config.big_d, config.d, config.t_c);
-  const supertree::IntraScheme intra =
-      config.scheme == Scheme::kHypercube ? supertree::IntraScheme::kHypercube
-                                          : supertree::IntraScheme::kMultiTree;
-  supertree::SuperTreeProtocol proto(topo, intra);
-  sim::Engine engine(topo, proto);
+  supertree::SuperTreeProtocol proto(topo, desc.intra);
 
-  const Slot bound =
-      intra == supertree::IntraScheme::kHypercube
-          ? supertree::structural_bound_hypercube(config.clusters,
-                                                  config.big_d, config.t_c,
-                                                  1, n)
-          : supertree::structural_bound(config.clusters, config.big_d,
-                                        config.t_c, 1, config.d, n);
+  const Slot bound = desc.multicluster_bound(config);
   PacketId window = config.window;
   if (window == 0) window = 2 * (multitree::worst_delay_bound(n, config.d));
-  metrics::DelayRecorder delays(topo.size(), window);
-  metrics::NeighborRecorder neighbors(topo.size());
-  engine.add_observer(delays);
-  engine.add_observer(neighbors);
-  std::optional<audit::InvariantAuditor> auditor;
+
+  std::vector<NodeKey> receivers;
+  receivers.reserve(static_cast<std::size_t>(config.clusters) *
+                    static_cast<std::size_t>(n));
+  for (int c = 0; c < config.clusters; ++c) {
+    for (NodeKey x = 1; x <= n; ++x) {
+      receivers.push_back(topo.receiver(c, x));
+    }
+  }
+
+  ObserverSpec spec;
+  spec.window = window;
+  spec.node_span = static_cast<NodeKey>(topo.size());
+  spec.audit = config.audit;
   if (config.audit) {
     // Cross-cluster envelope: the structural bound covers the backbone hops
     // (T_c pacing is checked per delivery via the latency invariant) and
@@ -105,185 +86,17 @@ QosReport run_multicluster(const SessionConfig& config) {
     opts.delay_bound = bound;
     opts.buffer_bound = bound;
     opts.require_complete = true;
-    for (int c = 0; c < config.clusters; ++c) {
-      for (NodeKey x = 1; x <= n; ++x) {
-        opts.audited_nodes.push_back(topo.receiver(c, x));
-      }
-    }
-    auditor.emplace(topo, std::move(opts));
-    engine.add_observer(*auditor);
+    opts.audited_nodes = receivers;
+    spec.audit_options = std::move(opts);
   }
-  engine.run_until(window + bound + 8);
-  if (auditor) auditor->require_clean();
 
-  QosReport report;
-  report.scheme = std::string(scheme_name(config.scheme)) + " x" +
-                  std::to_string(config.clusters) + " clusters";
-  report.n = n * config.clusters;
-  report.d = config.d;
-  double delay_sum = 0;
-  double buffer_sum = 0;
-  double neighbor_sum = 0;
-  NodeKey receivers = 0;
-  for (int c = 0; c < config.clusters; ++c) {
-    for (NodeKey x = 1; x <= n; ++x) {
-      const NodeKey key = topo.receiver(c, x);
-      const auto a = delays.playback_delay(key);
-      if (!a) throw std::logic_error("receiver window incomplete");
-      report.worst_delay = std::max(report.worst_delay, *a);
-      delay_sum += static_cast<double>(*a);
-      std::vector<Slot> row(static_cast<std::size_t>(window));
-      for (PacketId j = 0; j < window; ++j) {
-        row[static_cast<std::size_t>(j)] = delays.arrival(key, j);
-      }
-      const std::size_t occ = metrics::max_buffer_occupancy(row, *a);
-      report.max_buffer = std::max(report.max_buffer, occ);
-      buffer_sum += static_cast<double>(occ);
-      report.max_neighbors =
-          std::max(report.max_neighbors, neighbors.count(key));
-      neighbor_sum += static_cast<double>(neighbors.count(key));
-      ++receivers;
-    }
-  }
-  report.average_delay = delay_sum / static_cast<double>(receivers);
-  report.average_buffer = buffer_sum / static_cast<double>(receivers);
-  report.average_neighbors = neighbor_sum / static_cast<double>(receivers);
-  report.transmissions = engine.stats().transmissions;
-  report.slots_simulated = engine.now();
-  return report;
-}
-
-/// Scheme-specific pieces of a single-cluster run, assembled once and shared
-/// by the reliable and lossy paths.
-struct SchemePieces {
-  std::unique_ptr<net::Topology> topology;
-  std::unique_ptr<multitree::Forest> forest;  // kept alive for the protocol
-  std::unique_ptr<sim::Protocol> protocol;
-  PacketId window = 0;
-  Slot slack = 4;  // horizon beyond window + worst delay
-};
-
-SchemePieces build_scheme(const SessionConfig& config) {
-  const NodeKey n = config.n;
-  const int d = config.d;
-  SchemePieces p;
-  p.window = config.window;
-
-  switch (config.scheme) {
-    case Scheme::kMultiTreeStructured:
-    case Scheme::kMultiTreeGreedy: {
-      p.forest = std::make_unique<multitree::Forest>(
-          config.scheme == Scheme::kMultiTreeGreedy
-              ? multitree::build_greedy(n, d)
-              : multitree::build_structured(n, d));
-      if (p.window == 0) p.window = 2 * d * (p.forest->height() + 2);
-      p.topology = std::make_unique<net::UniformCluster>(n, d);
-      auto proto = std::make_unique<multitree::MultiTreeProtocol>(*p.forest,
-                                                                  config.mode);
-      // On lossy links a forward must wait for the actual (possibly
-      // repaired) receipt, so the replayed deterministic schedule is
-      // unsound; keep the cursor pump, which advances only on delivery.
-      if (config.loss.model != loss::ErasureKind::kNone) {
-        proto->use_periodic_cache(false);
-      }
-      p.protocol = std::move(proto);
-      p.slack += multitree::worst_delay_bound(n, d) + 3 * d;
-      break;
-    }
-    case Scheme::kHypercube: {
-      if (p.window == 0) p.window = 2 * hypercube::worst_delay(n) + 8;
-      p.topology = std::make_unique<net::UniformCluster>(n, 1);
-      p.protocol = std::make_unique<hypercube::HypercubeProtocol>(
-          std::vector<std::vector<hypercube::Segment>>{
-              hypercube::decompose_chain(n)});
-      p.slack += hypercube::worst_delay(n);
-      break;
-    }
-    case Scheme::kHypercubeGrouped: {
-      if (p.window == 0) {
-        p.window = 2 * hypercube::worst_delay_grouped(n, d) + 8;
-      }
-      p.topology = std::make_unique<net::UniformCluster>(n, d);
-      std::vector<std::vector<hypercube::Segment>> chains;
-      for (auto& g : hypercube::decompose_grouped(n, d)) {
-        chains.push_back(std::move(g.chain));
-      }
-      p.protocol =
-          std::make_unique<hypercube::HypercubeProtocol>(std::move(chains));
-      p.slack += hypercube::worst_delay_grouped(n, d);
-      break;
-    }
-    case Scheme::kChain: {
-      if (p.window == 0) p.window = 8;
-      p.topology = std::make_unique<net::UniformCluster>(n, 1);
-      p.protocol = std::make_unique<baseline::ChainProtocol>(n);
-      p.slack += n;
-      break;
-    }
-    case Scheme::kSingleTree: {
-      if (p.window == 0) p.window = 8;
-      p.topology = std::make_unique<baseline::BoostedCluster>(n, d);
-      p.protocol = std::make_unique<baseline::SingleTreeProtocol>(n, d);
-      p.slack += baseline::single_tree_worst_delay(n, d) + 2;
-      break;
-    }
-  }
-  return p;
-}
-
-/// The scheme's claimed QoS envelopes (the bounds the paper proves; DESIGN.md
-/// §7) packaged as auditor options. The audited run re-checks them
-/// mechanically: Theorem 2's h*d delay/buffer for the multi-tree (live modes
-/// shift the schedule by up to d slots), Propositions 1-2's O(1) buffers for
-/// the hypercube schemes, and the closed forms for the baselines.
-audit::AuditOptions audit_envelope(const SessionConfig& config,
-                                   PacketId window) {
-  audit::AuditOptions o;
-  o.window = window;
-  Slot delay = -1;
-  std::int64_t buffer = -1;
-  switch (config.scheme) {
-    case Scheme::kMultiTreeStructured:
-    case Scheme::kMultiTreeGreedy: {
-      delay = multitree::worst_delay_bound(config.n, config.d);
-      buffer = delay;
-      if (config.mode != multitree::StreamMode::kPreRecorded) {
-        delay += config.d;
-        buffer += config.d;
-      }
-      break;
-    }
-    case Scheme::kHypercube:
-      delay = hypercube::worst_delay(config.n);
-      buffer = 3;  // Propositions 1-2: O(1), measured <= 3 on every grid
-      break;
-    case Scheme::kHypercubeGrouped:
-      delay = hypercube::worst_delay_grouped(config.n, config.d);
-      buffer = 3;
-      break;
-    case Scheme::kChain:
-      delay = baseline::chain_worst_delay(config.n);
-      buffer = 1;  // perfectly paced: play each packet the slot it arrives
-      break;
-    case Scheme::kSingleTree:
-      delay = baseline::single_tree_worst_delay(config.n, config.d);
-      buffer = delay;
-      break;
-  }
-  const bool lossy = config.loss.model != loss::ErasureKind::kNone;
-  o.buffer_bound = buffer;
-  if (lossy) {
-    // Repairs may legitimately exceed the deterministic delay bound; the
-    // buffer check keeps running with gap-backlog slack, and window
-    // completeness is accounted in LossSummary instead of violated.
-    o.delay_bound = -1;
-    o.gap_backlog_slack = true;
-    o.require_complete = false;
-  } else {
-    o.delay_bound = delay;
-    o.require_complete = true;
-  }
-  return o;
+  RunPipeline pipeline(topo, proto, spec);
+  pipeline.run(window + bound + 8);
+  return pipeline.aggregate({.label = scheme_label(config.scheme,
+                                                   config.clusters),
+                             .report_n = n * config.clusters,
+                             .d = config.d,
+                             .receivers = std::move(receivers)});
 }
 
 }  // namespace
@@ -294,46 +107,24 @@ QosReport StreamingSession::run() const {
     return run_lossy().qos;
   }
   const NodeKey n = config_.n;
-  const int d = config_.d;
 
-  SchemePieces pieces = build_scheme(config_);
-  const PacketId window = pieces.window;
-  const Slot slack = pieces.slack;
+  scheme::Overlay overlay =
+      scheme::descriptor(config_.scheme).build(config_);
 
-  // Simulate with all recorders attached.
-  sim::Engine engine(*pieces.topology, *pieces.protocol);
-  metrics::DelayRecorder delays(n + 1, window);
-  metrics::NeighborRecorder neighbors(n + 1);
-  engine.add_observer(delays);
-  engine.add_observer(neighbors);
-  std::optional<audit::InvariantAuditor> auditor;
+  ObserverSpec spec;
+  spec.window = overlay.window;
+  spec.node_span = n + 1;
+  spec.audit = config_.audit;
   if (config_.audit) {
-    auditor.emplace(*pieces.topology, audit_envelope(config_, window));
-    engine.add_observer(*auditor);
+    spec.audit_options = scheme::audit_envelope(config_, overlay.window);
   }
-  engine.run_until(window + slack);
-  if (auditor) auditor->require_clean();
 
-  QosReport report;
-  report.scheme = scheme_name(config_.scheme);
-  report.n = n;
-  report.d = d;
-  report.worst_delay = delays.worst_delay(1, n);
-  report.average_delay = delays.average_delay(1, n);
-  const auto buffers = metrics::max_occupancies(delays, 1, n);
-  std::size_t worst_buffer = 0;
-  double buffer_sum = 0;
-  for (const std::size_t b : buffers) {
-    worst_buffer = std::max(worst_buffer, b);
-    buffer_sum += static_cast<double>(b);
-  }
-  report.max_buffer = worst_buffer;
-  report.average_buffer = buffer_sum / static_cast<double>(buffers.size());
-  report.max_neighbors = neighbors.max_count(1, n);
-  report.average_neighbors = neighbors.mean_count(1, n);
-  report.transmissions = engine.stats().transmissions;
-  report.slots_simulated = engine.now();
-  return report;
+  RunPipeline pipeline(*overlay.topology, *overlay.protocol, spec);
+  pipeline.run(overlay.window + overlay.slack);
+  return pipeline.aggregate({.label = scheme_label(config_.scheme),
+                             .report_n = n,
+                             .d = config_.d,
+                             .receivers = cluster_receivers(n)});
 }
 
 LossRunResult StreamingSession::run_lossy() const {
@@ -342,14 +133,14 @@ LossRunResult StreamingSession::run_lossy() const {
   }
   const NodeKey n = config_.n;
   const LossConfig& lc = config_.loss;
+  const scheme::Descriptor& desc = scheme::descriptor(config_.scheme);
 
-  SchemePieces pieces = build_scheme(config_);
-  const PacketId window = pieces.window;
+  scheme::Overlay overlay = desc.build(config_);
 
   // Headroom for repair traffic on top of the paper's exact provisioning;
   // unused while no packet is lost, so a kNone/zero-rate run is bit-identical
   // to the reliable engine (regression-tested).
-  net::ProvisionedTopology topology(*pieces.topology, lc.extra_send,
+  net::ProvisionedTopology topology(*overlay.topology, lc.extra_send,
                                     lc.extra_recv);
   std::unique_ptr<loss::LossModel> model =
       loss::make_model(lc.model, lc.rate, lc.ge, lc.seed);
@@ -359,21 +150,15 @@ LossRunResult StreamingSession::run_lossy() const {
   opts.fec_window = lc.fec_window;
   // Every packet id flows over every link only in the newest-only
   // forwarders; elsewhere id jumps per link are part of the schedule.
-  opts.dense_links = config_.scheme == Scheme::kChain ||
-                     config_.scheme == Scheme::kSingleTree;
-  // The hypercube's demand-driven exchanges stop offering a packet once its
-  // consumption slot passes, so some gaps produce no failed transmission to
-  // NACK: sweep them once they outlive any legitimate arrival skew (bounded
-  // by the slack, which includes the scheme's worst-delay bound).
-  if (config_.scheme == Scheme::kHypercube ||
-      config_.scheme == Scheme::kHypercubeGrouped) {
-    opts.gap_timeout = pieces.slack;
+  opts.dense_links = desc.caps.dense_links;
+  // Demand-driven exchanges stop offering a packet once its consumption
+  // slot passes, so some gaps produce no failed transmission to NACK: sweep
+  // them once they outlive any legitimate arrival skew (bounded by the
+  // slack, which includes the scheme's worst-delay bound).
+  if (desc.caps.demand_driven) {
+    opts.gap_timeout = overlay.slack;
   }
-  loss::RecoveryProtocol recovery(topology, *pieces.protocol, opts);
-
-  sim::Engine engine(topology, recovery);
-  engine.set_loss_model(model.get());
-  engine.add_observer(recovery);  // drop reports + post-repair fan-out
+  loss::RecoveryProtocol recovery(topology, *overlay.protocol, opts);
 
   // The auditor watches the *physical* stream (pre-repair), against the
   // provisioned capacities: repair traffic must fit the headroom, collisions
@@ -381,94 +166,31 @@ LossRunResult StreamingSession::run_lossy() const {
   // a link, so nodes completed by decode alone are skipped by the window
   // checks (require_complete is off; the session accounts incompleteness in
   // LossSummary).
-  std::optional<audit::InvariantAuditor> auditor;
+  ObserverSpec spec;
+  spec.window = overlay.window;
+  spec.node_span = n + 1;
+  spec.continuity = true;
+  spec.audit = config_.audit;
   if (config_.audit) {
-    auditor.emplace(topology, audit_envelope(config_, window));
-    engine.add_observer(*auditor);
+    spec.audit_options = scheme::audit_envelope(config_, overlay.window);
   }
 
-  // Metrics observe the post-repair stream (repairs and FEC decodes count
-  // as arrivals), so they attach to the recovery layer, not the engine.
-  metrics::DelayRecorder delays(n + 1, window);
-  metrics::NeighborRecorder neighbors(n + 1);
-  metrics::ContinuityRecorder continuity(n + 1, window);
-  recovery.add_observer(delays);
-  recovery.add_observer(neighbors);
-  recovery.add_observer(continuity);
-
-  const Slot horizon = window + pieces.slack;
-  engine.run_until(horizon);
-
-  // Drain: keep simulating in small chunks until every receiver's gap-free
-  // prefix covers the window, or the drain budget runs out.
-  Slot drained = 0;
-  while (!recovery.all_gap_free(1, n, window) && drained < lc.max_drain) {
-    const Slot chunk = std::min<Slot>(32, lc.max_drain - drained);
-    drained += chunk;
-    engine.run_until(horizon + drained);
-  }
-  const Slot end = horizon + drained;
-  if (auditor) auditor->require_clean();
-
-  LossRunResult result;
-  QosReport& report = result.qos;
-  report.scheme = scheme_name(config_.scheme);
-  report.n = n;
-  report.d = config_.d;
-  report.transmissions = engine.stats().transmissions;
-  report.slots_simulated = end;
-  report.drops = engine.stats().drops;
-  report.retransmissions = engine.stats().retransmissions;
+  RunPipeline pipeline(topology, recovery, spec, model.get(), &recovery);
+  pipeline.run(overlay.window + overlay.slack,
+               {.from = 1, .to = n, .max_drain = lc.max_drain});
 
   // Aggregate delay/buffer over receivers that completed the window; count
   // the rest instead of throwing (a lossy run may legitimately time out).
-  double delay_sum = 0;
-  double buffer_sum = 0;
-  NodeKey complete = 0;
-  for (NodeKey x = 1; x <= n; ++x) {
-    const auto a = delays.playback_delay(x);
-    if (!a) {
-      ++result.loss.incomplete_nodes;
-      continue;
-    }
-    report.worst_delay = std::max(report.worst_delay, *a);
-    delay_sum += static_cast<double>(*a);
-    std::vector<Slot> row(static_cast<std::size_t>(window));
-    for (PacketId j = 0; j < window; ++j) {
-      row[static_cast<std::size_t>(j)] = delays.arrival(x, j);
-    }
-    const std::size_t occ = metrics::max_buffer_occupancy(row, *a);
-    report.max_buffer = std::max(report.max_buffer, occ);
-    buffer_sum += static_cast<double>(occ);
-    ++complete;
-  }
-  if (complete > 0) {
-    report.average_delay = delay_sum / static_cast<double>(complete);
-    report.average_buffer = buffer_sum / static_cast<double>(complete);
-  }
-  report.max_neighbors = neighbors.max_count(1, n);
-  report.average_neighbors = neighbors.mean_count(1, n);
-
-  LossSummary& summary = result.loss;
-  const loss::RecoveryStats& rs = recovery.stats();
-  summary.drops = engine.stats().drops;
-  summary.retransmissions = rs.retransmissions;
-  summary.parity_transmissions = rs.parity_transmissions;
-  summary.fec_decodes = rs.fec_decodes;
-  summary.suppressed = rs.suppressed_causal + rs.suppressed_redundant;
-  summary.nacks = rs.nacks;
-  summary.redundancy_overhead = rs.redundancy_overhead();
-  summary.all_gap_free = recovery.all_gap_free(1, n, window);
-  summary.drain_slots = drained;
-
-  const Slot playback_start =
-      lc.playback_start >= 0 ? lc.playback_start : report.worst_delay;
-  for (NodeKey x = 1; x <= n; ++x) {
-    const auto cr = continuity.report(x, playback_start, end);
-    summary.stalls = std::max(summary.stalls, cr.stalls);
-    summary.stall_slots = std::max(summary.stall_slots, cr.stall_slots);
-    summary.undecodable += cr.undecodable;
-  }
+  LossRunResult result;
+  NodeKey incomplete = 0;
+  result.qos = pipeline.aggregate({.label = scheme_label(config_.scheme),
+                                   .report_n = n,
+                                   .d = config_.d,
+                                   .receivers = cluster_receivers(n),
+                                   .skip_incomplete = true},
+                                  &incomplete);
+  result.loss = pipeline.loss_summary(lc, 1, n, result.qos.worst_delay);
+  result.loss.incomplete_nodes = incomplete;
   return result;
 }
 

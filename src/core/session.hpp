@@ -5,9 +5,13 @@
 //                           .n = 100, .d = 3};
 //   core::QosReport report = core::StreamingSession(cfg).run();
 //
-// For anything beyond single-cluster QoS measurement (custom observers,
-// cross-cluster composition, churn), use the underlying modules directly —
-// the session is a convenience wrapper, not a gatekeeper.
+// The session is a thin configuration of core::RunPipeline: it asks the
+// scheme registry (src/scheme/) for the overlay and the audit envelope,
+// hands both to the pipeline, and returns the aggregated report. For
+// anything beyond single-cluster QoS measurement (custom observers,
+// cross-cluster composition, churn), use RunPipeline or the underlying
+// modules directly — the session is a convenience wrapper, not a
+// gatekeeper.
 #pragma once
 
 #include "src/core/config.hpp"
@@ -15,43 +19,14 @@
 
 namespace streamcast::core {
 
-/// Loss-subsystem outcome of a lossy run, alongside the usual QosReport.
-struct LossSummary {
-  std::int64_t drops = 0;
-  std::int64_t retransmissions = 0;
-  std::int64_t parity_transmissions = 0;
-  std::int64_t fec_decodes = 0;
-  std::int64_t suppressed = 0;
-  std::int64_t nacks = 0;
-  /// (retransmissions + parity) / data transmissions.
-  double redundancy_overhead = 0;
-  /// Every receiver holds the gap-free prefix [0, window) at the end.
-  bool all_gap_free = false;
-  /// Worst per-receiver stall count / stalled slots when playback starts at
-  /// LossConfig::playback_start (continuity metrics).
-  int stalls = 0;
-  Slot stall_slots = 0;
-  /// Window packets (summed over receivers) never delivered by the horizon.
-  PacketId undecodable = 0;
-  /// Extra slots simulated past the reliable horizon to let repairs land.
-  Slot drain_slots = 0;
-  /// Receivers whose measurement window stayed incomplete (excluded from
-  /// the delay/buffer aggregates).
-  NodeKey incomplete_nodes = 0;
-};
-
-struct LossRunResult {
-  QosReport qos;
-  LossSummary loss;
-};
-
 class StreamingSession {
  public:
   explicit StreamingSession(SessionConfig config);
 
-  /// Builds topology and protocol, simulates until every receiver completed
-  /// the measurement window, and aggregates the QoS metrics. With
-  /// `config.loss.model != kNone` this is `run_lossy().qos`.
+  /// Builds topology and protocol via the scheme registry, simulates until
+  /// every receiver completed the measurement window, and aggregates the
+  /// QoS metrics. With `config.loss.model != kNone` this is
+  /// `run_lossy().qos`.
   QosReport run() const;
 
   /// Lossy run (valid for any LossConfig, including kNone): wraps the scheme

@@ -23,6 +23,7 @@
 #include "src/baseline/chain.hpp"            // IWYU pragma: export
 #include "src/baseline/single_tree.hpp"      // IWYU pragma: export
 #include "src/core/config.hpp"               // IWYU pragma: export
+#include "src/core/pipeline.hpp"              // IWYU pragma: export
 #include "src/core/report.hpp"               // IWYU pragma: export
 #include "src/core/session.hpp"              // IWYU pragma: export
 #include "src/fluid/bounds.hpp"              // IWYU pragma: export
@@ -51,6 +52,7 @@
 #include "src/multitree/validate.hpp"        // IWYU pragma: export
 #include "src/net/buffer.hpp"                // IWYU pragma: export
 #include "src/net/topology.hpp"              // IWYU pragma: export
+#include "src/scheme/registry.hpp"           // IWYU pragma: export
 #include "src/sim/engine.hpp"                // IWYU pragma: export
 #include "src/sim/trace.hpp"                 // IWYU pragma: export
 #include "src/supertree/analysis.hpp"        // IWYU pragma: export

@@ -9,6 +9,11 @@
 // scheduler — both to cut wall-clock on multi-core CI and to keep the
 // runner itself under audit coverage: every session here re-checks the full
 // invariant set regardless of which worker thread it landed on.
+//
+// Scheme lists come from the scheme registry, selected by capability flags
+// (live_modes, demand_driven, dense_links, multicluster, lossy_links)
+// instead of hand-maintained enum lists: a scheme added to the registry
+// joins the audited grid automatically.
 #include <gtest/gtest.h>
 
 #include <string>
@@ -63,11 +68,11 @@ std::vector<run::TaskResult> sweep_clean(
 
 TEST(AuditGrid, MultiTreeSchemesHoldTheorem2Envelopes) {
   std::vector<SessionConfig> tasks;
-  for (const Scheme scheme :
-       {Scheme::kMultiTreeStructured, Scheme::kMultiTreeGreedy}) {
+  for (const scheme::Descriptor& desc : scheme::all()) {
+    if (!desc.caps.memoized_schedule) continue;  // the multi-tree family
     for (const sim::NodeKey n : {5, 14, 40, 63}) {
       for (const int d : {2, 3, 4}) {
-        tasks.push_back({.scheme = scheme, .n = n, .d = d, .audit = true});
+        tasks.push_back({.scheme = desc.id, .n = n, .d = d, .audit = true});
       }
     }
   }
@@ -76,33 +81,41 @@ TEST(AuditGrid, MultiTreeSchemesHoldTheorem2Envelopes) {
 
 TEST(AuditGrid, MultiTreeLiveModesHoldShiftedEnvelopes) {
   std::vector<SessionConfig> tasks;
-  for (const auto mode : {multitree::StreamMode::kLivePrebuffered,
-                          multitree::StreamMode::kLivePipelined}) {
-    for (const sim::NodeKey n : {13, 40}) {
-      for (const int d : {2, 3}) {
-        tasks.push_back({.scheme = Scheme::kMultiTreeGreedy,
-                         .n = n,
-                         .d = d,
-                         .mode = mode,
-                         .audit = true});
+  for (const scheme::Descriptor& desc : scheme::all()) {
+    if (!desc.caps.live_modes) continue;
+    for (const auto mode : {multitree::StreamMode::kLivePrebuffered,
+                            multitree::StreamMode::kLivePipelined}) {
+      for (const sim::NodeKey n : {13, 40}) {
+        for (const int d : {2, 3}) {
+          tasks.push_back({.scheme = desc.id,
+                           .n = n,
+                           .d = d,
+                           .mode = mode,
+                           .audit = true});
+        }
       }
     }
   }
+  // The registry's live-mode surface is exactly the multi-tree family.
+  EXPECT_EQ(tasks.size(), 2u * 2u * 2u * 2u);
   sweep_clean(tasks);
 }
 
 TEST(AuditGrid, HypercubeSchemesHoldConstantBufferEnvelope) {
   std::vector<SessionConfig> tasks;
-  for (const sim::NodeKey n : {7, 25, 63, 127}) {
-    tasks.push_back({.scheme = Scheme::kHypercube, .n = n, .d = 1,
-                     .audit = true});
-  }
-  for (const sim::NodeKey n : {24, 90}) {
-    for (const int d : {2, 3}) {
-      tasks.push_back({.scheme = Scheme::kHypercubeGrouped,
-                       .n = n,
-                       .d = d,
-                       .audit = true});
+  for (const scheme::Descriptor& desc : scheme::all()) {
+    if (!desc.caps.demand_driven) continue;  // the hypercube family
+    if (desc.caps.degree_sweep) {
+      for (const sim::NodeKey n : {24, 90}) {
+        for (const int d : {2, 3}) {
+          tasks.push_back({.scheme = desc.id, .n = n, .d = d,
+                           .audit = true});
+        }
+      }
+    } else {
+      for (const sim::NodeKey n : {7, 25, 63, 127}) {
+        tasks.push_back({.scheme = desc.id, .n = n, .d = 1, .audit = true});
+      }
     }
   }
   sweep_clean(tasks);
@@ -110,33 +123,34 @@ TEST(AuditGrid, HypercubeSchemesHoldConstantBufferEnvelope) {
 
 TEST(AuditGrid, BaselinesHoldClosedFormEnvelopes) {
   std::vector<SessionConfig> tasks;
-  for (const sim::NodeKey n : {5, 20, 50}) {
-    tasks.push_back({.scheme = Scheme::kChain, .n = n, .d = 1,
-                     .audit = true});
-    tasks.push_back({.scheme = Scheme::kSingleTree, .n = n, .d = 2,
-                     .audit = true});
+  for (const scheme::Descriptor& desc : scheme::all()) {
+    if (!desc.caps.dense_links) continue;  // the baseline forwarders
+    for (const sim::NodeKey n : {5, 20, 50}) {
+      tasks.push_back({.scheme = desc.id,
+                       .n = n,
+                       .d = desc.caps.degree_sweep ? 2 : 1,
+                       .audit = true});
+    }
   }
   sweep_clean(tasks);
 }
 
 TEST(AuditGrid, SuperTreeCompositionHoldsUnderTcSweep) {
   std::vector<SessionConfig> tasks;
-  for (const int clusters : {3, 6}) {
-    for (const sim::Slot t_c : {2, 8, 16}) {
-      tasks.push_back({.scheme = Scheme::kMultiTreeGreedy,
-                       .n = 10,
-                       .d = 2,
-                       .clusters = clusters,
-                       .big_d = 3,
-                       .t_c = t_c,
-                       .audit = true});
-      tasks.push_back({.scheme = Scheme::kHypercube,
-                       .n = 7,
-                       .d = 1,
-                       .clusters = clusters,
-                       .big_d = 3,
-                       .t_c = t_c,
-                       .audit = true});
+  for (const scheme::Descriptor& desc : scheme::all()) {
+    if (!desc.caps.multicluster) continue;
+    const sim::NodeKey n = desc.caps.degree_sweep ? 10 : 7;
+    const int d = desc.caps.degree_sweep ? 2 : 1;
+    for (const int clusters : {3, 6}) {
+      for (const sim::Slot t_c : {2, 8, 16}) {
+        tasks.push_back({.scheme = desc.id,
+                         .n = n,
+                         .d = d,
+                         .clusters = clusters,
+                         .big_d = 3,
+                         .t_c = t_c,
+                         .audit = true});
+      }
     }
   }
   sweep_clean(tasks);
@@ -144,9 +158,13 @@ TEST(AuditGrid, SuperTreeCompositionHoldsUnderTcSweep) {
 
 TEST(AuditGrid, LossyRecoveryRunsStayWithinProvisionedInvariants) {
   std::vector<SessionConfig> tasks;
-  for (const Scheme scheme : {Scheme::kMultiTreeGreedy, Scheme::kChain}) {
+  for (const scheme::Descriptor& desc : scheme::all()) {
+    if (!desc.caps.lossy_links) continue;  // today: every scheme
     for (const double rate : {0.0, 0.02, 0.1}) {
-      SessionConfig cfg{.scheme = scheme, .n = 30, .d = 2, .audit = true};
+      SessionConfig cfg{.scheme = desc.id,
+                        .n = 30,
+                        .d = desc.caps.degree_sweep ? 2 : 1,
+                        .audit = true};
       cfg.loss.model = loss::ErasureKind::kBernoulli;
       cfg.loss.rate = rate;
       tasks.push_back(cfg);

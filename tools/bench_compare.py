@@ -12,6 +12,12 @@ Fails (exit 1) when the current run regresses:
     below baseline, compared only when both runs used the same thread
     count (a 1-core shard is not a regression relative to an 8-core one).
 
+Scheme filters: perf_sweep emits the canonical scheme names its grid
+covered as a ``schemes`` array (it accepts ``--schemes=a,b`` to restrict
+the grid). Throughput ratios are only compared when both runs covered the
+same scheme set; a baseline predating the array is treated as the full
+grid. ``--schemes`` here asserts what the current run was filtered to.
+
 ``--update`` rewrites the baseline with the current run instead of
 comparing, for intentional re-baselining after a hardware or engine
 change.
@@ -60,6 +66,10 @@ def main() -> int:
                         help="allowed fractional slowdown (default 0.10)")
     parser.add_argument("--update", action="store_true",
                         help="overwrite the baseline with the current run")
+    parser.add_argument("--schemes",
+                        help="comma-separated canonical scheme names the "
+                             "current run must have covered (validated "
+                             "against its \"schemes\" array)")
     args = parser.parse_args()
 
     current = load(args.current)
@@ -77,6 +87,38 @@ def main() -> int:
 
     print(f"bench_compare: {args.current} vs {args.baseline} "
           f"(tolerance {args.tolerance:.0%})")
+
+    cur_schemes = current.get("schemes")
+    if args.schemes is not None:
+        want = [name for name in args.schemes.split(",") if name]
+        if cur_schemes is None:
+            failures.append("current run has no \"schemes\" array to "
+                            "validate the filter against")
+        elif sorted(cur_schemes) != sorted(want):
+            failures.append(f"scheme filter mismatch: run covered "
+                            f"{sorted(cur_schemes)}, expected {sorted(want)}")
+
+    # A baseline written before the array existed covered the full grid;
+    # comparing throughput is only meaningful when both runs covered the
+    # same grid, so a filtered current run against it is also skipped.
+    base_schemes = baseline.get("schemes")
+    grids_differ = (cur_schemes is not None and base_schemes is not None
+                    and sorted(cur_schemes) != sorted(base_schemes))
+    filtered_vs_full = current.get("filtered", False) and base_schemes is None
+    if grids_differ or filtered_vs_full:
+        detail = (f"{sorted(cur_schemes)} vs baseline "
+                  f"{sorted(base_schemes)}" if grids_differ
+                  else "current run is scheme-filtered, baseline is the "
+                       "full grid")
+        print(f"  throughput comparison skipped: {detail}")
+        if failures:
+            print("bench_compare: FAIL")
+            for failure in failures:
+                print(f"  - {failure}")
+            return 1
+        print("bench_compare: PASS (determinism only)")
+        return 0
+
     failures += check_ratio(
         "serial slots/sec",
         current["serial"]["slots_per_sec"],

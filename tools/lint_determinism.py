@@ -30,6 +30,13 @@ lint enforces the three ways that property historically rots:
                reference from sweep workers is how shared mutable state
                sneaks across threads; sweep bodies must name their
                captures so each one is auditable.
+  scheme-dispatch — a `case Scheme::` arm outside src/scheme/. Scheme
+               dispatch is centralized in the scheme registry
+               (src/scheme/registry.*); a switch over the enum anywhere
+               else recreates the per-call-site dispatch the registry
+               replaced and silently skips schemes added later. Iterate
+               scheme::all() or consult descriptor(s) capabilities
+               instead.
 
 Suppress a deliberate use with a same-line comment:  // lint: allow(<rule>)
 
@@ -73,6 +80,17 @@ RULES = {
         re.compile(r"(parallel_for|run_sweep)\s*\(.*\[\s*&\s*\]"),
         re.compile(r"\[\s*&\s*\].*\b(parallel_for|run_sweep)\s*\("),
     ],
+    # Scheme dispatch lives in src/scheme/ (exempted below) and nowhere
+    # else; see scheme/registry.hpp.
+    "scheme-dispatch": [
+        re.compile(r"case\s+(streamcast::)?(core::)?Scheme::"),
+    ],
+}
+
+# Rules that only apply outside a specific directory: src/scheme/ is the
+# one place allowed to switch over the Scheme enum.
+RULE_EXEMPT_DIRS = {
+    "scheme-dispatch": [Path("src") / "scheme"],
 }
 
 ALLOW = re.compile(r"lint:\s*allow\(([a-z-]+)\)")
@@ -125,12 +143,21 @@ def lint_file(path: Path) -> list[tuple[Path, int, str, str]]:
     ).splitlines()
     findings = []
 
+    exempt_rules = {
+        rule
+        for rule, dirs in RULE_EXEMPT_DIRS.items()
+        if any(d in path.parents or d == path.parent for d in
+               ((Path(__file__).resolve().parent.parent / d) for d in dirs))
+    }
+
     def allowed(lineno: int, rule: str) -> bool:
         m = ALLOW.search(raw_lines[lineno - 1])
         return bool(m) and m.group(1) == rule
 
     for lineno, line in enumerate(code_lines, start=1):
         for rule, patterns in RULES.items():
+            if rule in exempt_rules:
+                continue
             if any(p.search(line) for p in patterns) and not allowed(
                 lineno, rule
             ):
