@@ -8,6 +8,7 @@
 #include "src/loss/model.hpp"
 #include "src/loss/recovery.hpp"
 #include "src/multitree/protocol.hpp"
+#include "src/scale/options.hpp"
 #include "src/sim/packet.hpp"
 
 namespace streamcast::core {
@@ -98,6 +99,11 @@ struct SessionConfig {
 
   // --- lossy links (clusters == 1 only) ------------------------------------
   LossConfig loss{};
+
+  /// Million-node scale path (DESIGN.md §11): thresholds for the streaming
+  /// recorder stack and the closed-form schedule replay, sketch accuracy,
+  /// and the memory budget every run's allocations are charged against.
+  scale::ScaleOptions scale{};
 
   /// Run under the audit::InvariantAuditor: every slot's capacity use,
   /// schedule collisions, latency pacing, duplicate-freedom, and the

@@ -1,33 +1,78 @@
 #include "src/core/pipeline.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <set>
 #include <stdexcept>
 
 #include "src/metrics/buffers.hpp"
+#include "src/scale/sketch.hpp"
 
 namespace streamcast::core {
 
+namespace {
+
+/// The O(node_span) footprint of the exact recorder family, charged before
+/// construction so even the exact stack fails fast instead of OOM-ing.
+/// Neighbor sets are charged at their container-header size only — their
+/// element count is degree-bounded, not node-bounded.
+std::size_t exact_stack_bytes(const ObserverSpec& spec) {
+  const auto span = static_cast<std::size_t>(spec.node_span);
+  const auto window = static_cast<std::size_t>(spec.window);
+  std::size_t bytes = span * window * sizeof(Slot) +  // delay arrivals
+                      span * sizeof(PacketId);        // delay missing counts
+  bytes += span * sizeof(std::set<NodeKey>);          // neighbor set headers
+  if (spec.continuity) {
+    bytes += span * window * sizeof(Slot) +  // continuity arrivals
+             span * 3 * sizeof(std::int64_t);
+  }
+  return bytes;
+}
+
+}  // namespace
+
 ObserverStack::ObserverStack(const net::Topology& topology,
-                             const ObserverSpec& spec)
-    : delays_(spec.node_span, spec.window),
-      neighbors_(spec.node_span),
-      trace_(spec.trace) {
-  if (spec.continuity) continuity_.emplace(spec.node_span, spec.window);
+                             const ObserverSpec& spec,
+                             util::BudgetLedger* ledger)
+    : trace_(spec.trace) {
+  // Continuity runs keep the exact family: the stall metrics need the
+  // per-packet minimum-arrival semantics the scale encoding does not keep.
+  const bool scaled =
+      !spec.continuity &&
+      (spec.force_scale || (spec.scale.sketch_threshold > 0 &&
+                            spec.node_span >= spec.scale.sketch_threshold));
+  if (scaled) {
+    scale_delays_.emplace(spec.node_span, spec.window, ledger);
+    scale_neighbors_.emplace(spec.node_span, spec.scale.neighbor_cap, ledger);
+  } else {
+    if (ledger != nullptr) {
+      ledger->charge("core/exact-recorders", exact_stack_bytes(spec));
+    }
+    delays_.emplace(spec.node_span, spec.window);
+    neighbors_.emplace(spec.node_span);
+    if (spec.continuity) continuity_.emplace(spec.node_span, spec.window);
+  }
   if (spec.audit) auditor_.emplace(topology, spec.audit_options);
 }
 
 void ObserverStack::attach(sim::Engine& engine,
                            loss::RecoveryProtocol* recovery) {
+  sim::DeliveryObserver* delay_obs =
+      scaled() ? static_cast<sim::DeliveryObserver*>(&*scale_delays_)
+               : static_cast<sim::DeliveryObserver*>(&*delays_);
+  sim::DeliveryObserver* neighbor_obs =
+      scaled() ? static_cast<sim::DeliveryObserver*>(&*scale_neighbors_)
+               : static_cast<sim::DeliveryObserver*>(&*neighbors_);
   if (recovery == nullptr) {
-    engine.add_observer(delays_);
-    engine.add_observer(neighbors_);
+    engine.add_observer(*delay_obs);
+    engine.add_observer(*neighbor_obs);
   }
   if (auditor_) engine.add_observer(*auditor_);
   if (recovery != nullptr) {
     // Metrics observe the post-repair stream (repairs and FEC decodes count
     // as arrivals), so they attach to the recovery layer, not the engine.
-    recovery->add_observer(delays_);
-    recovery->add_observer(neighbors_);
+    recovery->add_observer(*delay_obs);
+    recovery->add_observer(*neighbor_obs);
     if (continuity_) recovery->add_observer(*continuity_);
   }
   if (trace_ != nullptr) engine.add_observer(*trace_);
@@ -41,8 +86,12 @@ RunPipeline::RunPipeline(net::Topology& topology, sim::Protocol& protocol,
                          const ObserverSpec& observers,
                          loss::LossModel* loss_model,
                          loss::RecoveryProtocol* recovery)
-    : engine_(topology, protocol),
-      observers_(topology, observers),
+    : ledger_(util::MemoryBudget{observers.scale.budget_bytes}),
+      scale_options_(observers.scale),
+      engine_(topology, protocol,
+              sim::EngineOptions{.packet_window_hint = observers.window,
+                                 .budget = &ledger_}),
+      observers_(topology, observers, &ledger_),
       recovery_(recovery),
       window_(observers.window) {
   if (loss_model != nullptr) engine_.set_loss_model(loss_model);
@@ -68,8 +117,8 @@ void RunPipeline::run(Slot horizon, DrainPolicy drain) {
   observers_.require_clean();
 }
 
-QosReport RunPipeline::aggregate(const Aggregation& agg,
-                                 NodeKey* incomplete) const {
+QosReport RunPipeline::aggregate(const Aggregation& agg, NodeKey* incomplete,
+                                 scale::ScaleSummary* summary) const {
   QosReport report;
   report.scheme = agg.label;
   report.n = agg.report_n;
@@ -79,12 +128,21 @@ QosReport RunPipeline::aggregate(const Aggregation& agg,
   report.drops = engine_.stats().drops;
   report.retransmissions = engine_.stats().retransmissions;
 
-  const metrics::DelayRecorder& delays = observers_.delays();
+  const bool scaled = observers_.scaled();
+  std::optional<scale::DistributionSketch> delay_sketch;
+  std::optional<scale::DistributionSketch> buffer_sketch;
+  if (summary != nullptr) {
+    delay_sketch.emplace(scale_options_.epsilon);
+    buffer_sketch.emplace(scale_options_.epsilon);
+  }
+
   double delay_sum = 0;
   double buffer_sum = 0;
   NodeKey complete = 0;
+  std::vector<Slot> row;
   for (const NodeKey key : agg.receivers) {
-    const auto a = delays.playback_delay(key);
+    const auto a = scaled ? observers_.scale_delays().playback_delay(key)
+                          : observers_.delays().playback_delay(key);
     if (!a) {
       if (!agg.skip_incomplete) {
         throw std::logic_error("receiver window incomplete");
@@ -94,14 +152,22 @@ QosReport RunPipeline::aggregate(const Aggregation& agg,
     }
     report.worst_delay = std::max(report.worst_delay, *a);
     delay_sum += static_cast<double>(*a);
-    std::vector<Slot> row(static_cast<std::size_t>(window_));
-    for (PacketId j = 0; j < window_; ++j) {
-      row[static_cast<std::size_t>(j)] = delays.arrival(key, j);
+    if (scaled) {
+      observers_.scale_delays().arrivals(key, row);
+    } else {
+      row.resize(static_cast<std::size_t>(window_));
+      for (PacketId j = 0; j < window_; ++j) {
+        row[static_cast<std::size_t>(j)] = observers_.delays().arrival(key, j);
+      }
     }
     const std::size_t occ = metrics::max_buffer_occupancy(row, *a);
     report.max_buffer = std::max(report.max_buffer, occ);
     buffer_sum += static_cast<double>(occ);
     ++complete;
+    if (delay_sketch) {
+      delay_sketch->add(*a);
+      buffer_sketch->add(static_cast<std::int64_t>(occ));
+    }
   }
   if (complete > 0) {
     report.average_delay = delay_sum / static_cast<double>(complete);
@@ -110,16 +176,26 @@ QosReport RunPipeline::aggregate(const Aggregation& agg,
 
   // Neighbor counts cover every receiver, complete window or not: partners
   // were observed either way.
-  const metrics::NeighborRecorder& neighbors = observers_.neighbors();
   double neighbor_sum = 0;
   for (const NodeKey key : agg.receivers) {
-    report.max_neighbors = std::max(report.max_neighbors,
-                                    neighbors.count(key));
-    neighbor_sum += static_cast<double>(neighbors.count(key));
+    const std::size_t count = scaled ? observers_.scale_neighbors().count(key)
+                                     : observers_.neighbors().count(key);
+    report.max_neighbors = std::max(report.max_neighbors, count);
+    neighbor_sum += static_cast<double>(count);
   }
   if (!agg.receivers.empty()) {
     report.average_neighbors =
         neighbor_sum / static_cast<double>(agg.receivers.size());
+  }
+
+  if (summary != nullptr) {
+    summary->nodes = agg.report_n;
+    summary->epsilon = scale_options_.epsilon;
+    summary->replayed = false;
+    summary->budget_bytes = ledger_.limit();
+    summary->bytes_peak = ledger_.peak();
+    summary->delay = delay_sketch->summarize();
+    summary->buffer = buffer_sketch->summarize();
   }
   return report;
 }

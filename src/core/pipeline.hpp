@@ -14,6 +14,16 @@
 //    (drop reports + post-repair fan-out) before the auditor, and the
 //    metric recorders to the recovery layer, so metrics observe the
 //    post-repair stream while the auditor watches the physical one.
+//
+// Scale stack (DESIGN.md §11): at or above ScaleOptions::sketch_threshold
+// nodes, lossless runs swap the exact recorders for the flat scale family
+// (ScaleDelayRecorder / ScaleNeighborRecorder). Aggregation arithmetic is
+// unchanged — the scale recorders reconstruct exact arrival rows — so the
+// QosReport is byte-identical either way (regression-tested); only the
+// memory layout and the optional distribution summaries differ. Every
+// pipeline allocation is charged against a util::BudgetLedger sized by
+// ScaleOptions::budget_bytes, so an oversized world fails fast with
+// BudgetExceeded instead of OOM-ing the host.
 #pragma once
 
 #include <optional>
@@ -27,8 +37,10 @@
 #include "src/metrics/continuity.hpp"
 #include "src/metrics/delay.hpp"
 #include "src/metrics/neighbors.hpp"
+#include "src/scale/recorder.hpp"
 #include "src/sim/engine.hpp"
 #include "src/sim/trace.hpp"
+#include "src/util/budget.hpp"
 
 namespace streamcast::core {
 
@@ -46,21 +58,39 @@ struct ObserverSpec {
   audit::AuditOptions audit_options{};
   /// Caller-owned delivery trace, attached last when non-null.
   sim::Trace* trace = nullptr;
+  /// Scale-path thresholds, sketch accuracy, and the memory budget.
+  scale::ScaleOptions scale{};
+  /// Use the scale recorders regardless of node_span (identity tests).
+  bool force_scale = false;
 };
 
-/// The observers of one run, constructed and wired in one place.
+/// The observers of one run, constructed and wired in one place. Exactly one
+/// recorder family — exact or scale — is materialized, chosen by
+/// `ObserverSpec::scale.sketch_threshold` against `node_span` (continuity
+/// runs always keep the exact family: the stall metrics need per-packet
+/// minimum arrivals the scale encoding does not keep).
 class ObserverStack {
  public:
-  ObserverStack(const net::Topology& topology, const ObserverSpec& spec);
+  ObserverStack(const net::Topology& topology, const ObserverSpec& spec,
+                util::BudgetLedger* ledger);
 
   /// Attaches everything in the contract order described above. `recovery`
   /// selects the lossy wiring (metrics observe the post-repair stream).
   void attach(sim::Engine& engine, loss::RecoveryProtocol* recovery);
 
-  metrics::DelayRecorder& delays() { return delays_; }
-  const metrics::DelayRecorder& delays() const { return delays_; }
-  metrics::NeighborRecorder& neighbors() { return neighbors_; }
-  const metrics::NeighborRecorder& neighbors() const { return neighbors_; }
+  /// True when this stack runs the scale recorder family.
+  bool scaled() const { return scale_delays_.has_value(); }
+
+  metrics::DelayRecorder& delays() { return *delays_; }
+  const metrics::DelayRecorder& delays() const { return *delays_; }
+  metrics::NeighborRecorder& neighbors() { return *neighbors_; }
+  const metrics::NeighborRecorder& neighbors() const { return *neighbors_; }
+  const scale::ScaleDelayRecorder& scale_delays() const {
+    return *scale_delays_;
+  }
+  const scale::ScaleNeighborRecorder& scale_neighbors() const {
+    return *scale_neighbors_;
+  }
   metrics::ContinuityRecorder* continuity() {
     return continuity_ ? &*continuity_ : nullptr;
   }
@@ -76,8 +106,10 @@ class ObserverStack {
   void require_clean();
 
  private:
-  metrics::DelayRecorder delays_;
-  metrics::NeighborRecorder neighbors_;
+  std::optional<metrics::DelayRecorder> delays_;
+  std::optional<metrics::NeighborRecorder> neighbors_;
+  std::optional<scale::ScaleDelayRecorder> scale_delays_;
+  std::optional<scale::ScaleNeighborRecorder> scale_neighbors_;
   std::optional<metrics::ContinuityRecorder> continuity_;
   std::optional<audit::InvariantAuditor> auditor_;
   sim::Trace* trace_;
@@ -122,9 +154,11 @@ class RunPipeline {
 
   /// Aggregates delay/buffer over (complete) receivers and neighbor counts
   /// over all receivers, plus the engine-level totals. `incomplete`, when
-  /// given, receives the number of skipped receivers.
-  QosReport aggregate(const Aggregation& agg,
-                      NodeKey* incomplete = nullptr) const;
+  /// given, receives the number of skipped receivers. `summary`, when
+  /// given, additionally receives the sketched delay/buffer distributions
+  /// and the ledger's memory accounting (any stack).
+  QosReport aggregate(const Aggregation& agg, NodeKey* incomplete = nullptr,
+                      scale::ScaleSummary* summary = nullptr) const;
 
   /// Folds recovery-layer stats and the continuity report over receivers
   /// [from, to] into a LossSummary. Requires the lossy wiring.
@@ -134,12 +168,17 @@ class RunPipeline {
   ObserverStack& observers() { return observers_; }
   const ObserverStack& observers() const { return observers_; }
   sim::Engine& engine() { return engine_; }
+  const util::BudgetLedger& ledger() const { return ledger_; }
 
   /// Last slot simulated (horizon + drained slots).
   Slot end() const { return end_; }
   Slot drained() const { return drained_; }
 
  private:
+  /// Declared first: the engine and the observers charge it, so it must
+  /// outlive both.
+  util::BudgetLedger ledger_;
+  scale::ScaleOptions scale_options_;
   sim::Engine engine_;
   ObserverStack observers_;
   loss::RecoveryProtocol* recovery_;

@@ -9,6 +9,7 @@
 #include "src/loss/model.hpp"
 #include "src/loss/recovery.hpp"
 #include "src/multitree/analysis.hpp"
+#include "src/scale/replay.hpp"
 #include "src/scheme/registry.hpp"
 #include "src/supertree/protocol.hpp"
 
@@ -89,6 +90,7 @@ QosReport run_multicluster(const SessionConfig& config) {
     opts.audited_nodes = receivers;
     spec.audit_options = std::move(opts);
   }
+  spec.scale = config.scale;
 
   RunPipeline pipeline(topo, proto, spec);
   pipeline.run(window + bound + 8);
@@ -99,32 +101,98 @@ QosReport run_multicluster(const SessionConfig& config) {
                              .receivers = std::move(receivers)});
 }
 
+/// Reliable single-cluster run through the pipeline. `summary`, when given,
+/// receives the sketched distributions (any recorder stack).
+QosReport run_reliable(const SessionConfig& config,
+                       scale::ScaleSummary* summary) {
+  const NodeKey n = config.n;
+
+  scheme::Overlay overlay = scheme::descriptor(config.scheme).build(config);
+
+  ObserverSpec spec;
+  spec.window = overlay.window;
+  spec.node_span = n + 1;
+  spec.audit = config.audit;
+  if (config.audit) {
+    spec.audit_options = scheme::audit_envelope(config, overlay.window);
+  }
+  spec.scale = config.scale;
+
+  RunPipeline pipeline(*overlay.topology, *overlay.protocol, spec);
+  pipeline.run(overlay.window + overlay.slack);
+  return pipeline.aggregate({.label = scheme_label(config.scheme),
+                             .report_n = n,
+                             .d = config.d,
+                             .receivers = cluster_receivers(n)},
+                            nullptr, summary);
+}
+
+/// Closed-form schedule replay (DESIGN.md §11): the QosReport the pipeline
+/// would have produced, without simulating a single slot.
+QosReport replay_report(const SessionConfig& config,
+                        scale::ScaleSummary* summary) {
+  scale::ReplayConfig rc;
+  rc.n = config.n;
+  rc.d = config.d;
+  rc.prebuffered = config.mode == multitree::StreamMode::kLivePrebuffered;
+  rc.window = config.window;
+  const scale::ReplayReport rr = scale::replay_structured(rc, config.scale);
+  QosReport report;
+  report.scheme = scheme_label(config.scheme);
+  report.n = config.n;
+  report.d = config.d;
+  report.worst_delay = rr.worst_delay;
+  report.average_delay = rr.average_delay;
+  report.max_buffer = rr.max_buffer;
+  report.average_buffer = rr.average_buffer;
+  report.max_neighbors = rr.max_neighbors;
+  report.average_neighbors = rr.average_neighbors;
+  report.transmissions = rr.transmissions;
+  report.slots_simulated = rr.horizon;
+  if (summary != nullptr) *summary = rr.summary;
+  return report;
+}
+
 }  // namespace
+
+bool StreamingSession::replay_eligible(const SessionConfig& config) {
+  if (config.clusters > 1) return false;
+  if (config.loss.model != loss::ErasureKind::kNone) return false;
+  if (config.audit) return false;
+  if (!config.scale.allow_replay) return false;
+  if (!scheme::descriptor(config.scheme).caps.closed_form_replay) return false;
+  if (config.mode == multitree::StreamMode::kLivePipelined) return false;
+  if (config.window > 0 && config.window < config.d) return false;
+  return true;
+}
 
 QosReport StreamingSession::run() const {
   if (config_.clusters > 1) return run_multicluster(config_);
   if (config_.loss.model != loss::ErasureKind::kNone) {
     return run_lossy().qos;
   }
-  const NodeKey n = config_.n;
-
-  scheme::Overlay overlay =
-      scheme::descriptor(config_.scheme).build(config_);
-
-  ObserverSpec spec;
-  spec.window = overlay.window;
-  spec.node_span = n + 1;
-  spec.audit = config_.audit;
-  if (config_.audit) {
-    spec.audit_options = scheme::audit_envelope(config_, overlay.window);
+  if (config_.scale.replay_threshold > 0 &&
+      config_.n >= config_.scale.replay_threshold &&
+      replay_eligible(config_)) {
+    return replay_report(config_, nullptr);
   }
+  return run_reliable(config_, nullptr);
+}
 
-  RunPipeline pipeline(*overlay.topology, *overlay.protocol, spec);
-  pipeline.run(overlay.window + overlay.slack);
-  return pipeline.aggregate({.label = scheme_label(config_.scheme),
-                             .report_n = n,
-                             .d = config_.d,
-                             .receivers = cluster_receivers(n)});
+ScaleRunResult StreamingSession::run_scale() const {
+  if (config_.clusters > 1 || config_.loss.model != loss::ErasureKind::kNone) {
+    throw std::invalid_argument(
+        "run_scale requires a reliable single-cluster run");
+  }
+  ScaleRunResult result;
+  if (config_.scale.replay_threshold > 0 &&
+      config_.n >= config_.scale.replay_threshold &&
+      replay_eligible(config_)) {
+    result.qos = replay_report(config_, &result.summary);
+  } else {
+    result.qos = run_reliable(config_, &result.summary);
+  }
+  return result;
 }
 
 LossRunResult StreamingSession::run_lossy() const {
@@ -174,6 +242,7 @@ LossRunResult StreamingSession::run_lossy() const {
   if (config_.audit) {
     spec.audit_options = scheme::audit_envelope(config_, overlay.window);
   }
+  spec.scale = config_.scale;
 
   RunPipeline pipeline(topology, recovery, spec, model.get(), &recovery);
   pipeline.run(overlay.window + overlay.slack,

@@ -16,8 +16,16 @@
 
 #include "src/core/config.hpp"
 #include "src/core/report.hpp"
+#include "src/scale/recorder.hpp"
 
 namespace streamcast::core {
+
+/// QoS report plus the scale path's distribution summaries and memory
+/// accounting (run_scale()).
+struct ScaleRunResult {
+  QosReport qos;
+  scale::ScaleSummary summary;
+};
 
 class StreamingSession {
  public:
@@ -27,7 +35,27 @@ class StreamingSession {
   /// every receiver completed the measurement window, and aggregates the
   /// QoS metrics. With `config.loss.model != kNone` this is
   /// `run_lossy().qos`.
+  ///
+  /// Scale path (DESIGN.md §11): at or above config.scale.replay_threshold
+  /// receivers an eligible run — see replay_eligible() — skips the slot
+  /// engine and replays the schedule in closed form; at or above
+  /// config.scale.sketch_threshold a simulated run swaps the exact
+  /// recorders for the streaming scale family. Both paths produce the same
+  /// QosReport bytes as the exact pump (regression-tested).
   QosReport run() const;
+
+  /// run(), returning the sketched delay/buffer distributions and the
+  /// memory-budget accounting alongside the QoS report. Reliable
+  /// single-cluster runs only.
+  ScaleRunResult run_scale() const;
+
+  /// True when this config can skip the slot engine entirely: a reliable
+  /// single-cluster run of a scheme with the closed_form_replay capability
+  /// in a replayable stream mode (kPreRecorded / kLivePrebuffered), without
+  /// the auditor (auditing *is* watching the engine) and with a window the
+  /// closed form covers (>= d). Thresholds are not part of eligibility;
+  /// run() additionally requires n >= config.scale.replay_threshold.
+  static bool replay_eligible(const SessionConfig& config);
 
   /// Lossy run (valid for any LossConfig, including kNone): wraps the scheme
   /// in loss::RecoveryProtocol over a net::ProvisionedTopology, attaches the

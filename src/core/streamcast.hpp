@@ -52,6 +52,9 @@
 #include "src/multitree/validate.hpp"        // IWYU pragma: export
 #include "src/net/buffer.hpp"                // IWYU pragma: export
 #include "src/net/topology.hpp"              // IWYU pragma: export
+#include "src/scale/recorder.hpp"            // IWYU pragma: export
+#include "src/scale/replay.hpp"              // IWYU pragma: export
+#include "src/scale/sketch.hpp"              // IWYU pragma: export
 #include "src/scheme/registry.hpp"           // IWYU pragma: export
 #include "src/sim/engine.hpp"                // IWYU pragma: export
 #include "src/sim/trace.hpp"                 // IWYU pragma: export

@@ -7,12 +7,12 @@
 namespace streamcast::metrics {
 
 ContinuityRecorder::ContinuityRecorder(NodeKey nodes, PacketId window)
-    : window_(window) {
+    : window_(window), nodes_(nodes) {
   assert(nodes >= 1);
   assert(window >= 1);
-  arrival_.assign(static_cast<std::size_t>(nodes),
-                  std::vector<Slot>(static_cast<std::size_t>(window),
-                                    kNeverArrived));
+  arrival_.assign(
+      static_cast<std::size_t>(nodes) * static_cast<std::size_t>(window),
+      kNeverArrived);
 }
 
 void ContinuityRecorder::on_delivery(const Delivery& d) {
@@ -26,28 +26,27 @@ void ContinuityRecorder::on_delivery(const Delivery& d) {
     ++data_;
   }
   if (d.tx.packet >= window_) return;
-  if (d.tx.to < 0 || static_cast<std::size_t>(d.tx.to) >= arrival_.size()) {
-    return;
-  }
-  auto& cell = arrival_[static_cast<std::size_t>(d.tx.to)]
-                       [static_cast<std::size_t>(d.tx.packet)];
+  if (d.tx.to < 0 || d.tx.to >= nodes_) return;
+  auto& cell = arrival_[static_cast<std::size_t>(d.tx.to) *
+                            static_cast<std::size_t>(window_) +
+                        static_cast<std::size_t>(d.tx.packet)];
   if (cell == kNeverArrived || d.received < cell) cell = d.received;
 }
 
 Slot ContinuityRecorder::arrival(NodeKey node, PacketId p) const {
   assert(p >= 0 && p < window_);
-  return arrival_[static_cast<std::size_t>(node)][static_cast<std::size_t>(p)];
+  return row(node)[static_cast<std::size_t>(p)];
 }
 
 ContinuityRecorder::Report ContinuityRecorder::report(NodeKey node,
                                                       Slot playback_start,
                                                       Slot horizon) const {
-  const auto& row = arrival_[static_cast<std::size_t>(node)];
+  const Slot* arrivals = row(node);
   Report r;
   Slot t = playback_start;
   PacketId gap_run = 0;
   for (PacketId j = 0; j < window_; ++j) {
-    const Slot got = row[static_cast<std::size_t>(j)];
+    const Slot got = arrivals[static_cast<std::size_t>(j)];
     if (got == kNeverArrived || got >= horizon) {
       // Never decodable within the run: playback skips the packet.
       ++r.undecodable;

@@ -70,8 +70,15 @@ class ContinuityRecorder final : public sim::DeliveryObserver {
   PacketId window() const { return window_; }
 
  private:
+  const Slot* row(NodeKey node) const {
+    return arrival_.data() +
+           static_cast<std::size_t>(node) * static_cast<std::size_t>(window_);
+  }
+
   PacketId window_;
-  std::vector<std::vector<Slot>> arrival_;  // [node][packet]
+  NodeKey nodes_;
+  /// Flat [node][packet] minimum-arrival matrix, stride window_.
+  std::vector<Slot> arrival_;
   std::int64_t data_ = 0;
   std::int64_t retransmissions_ = 0;
   std::int64_t parity_ = 0;

@@ -10,17 +10,16 @@ DelayRecorder::DelayRecorder(NodeKey nodes, PacketId window)
     : window_(window) {
   assert(nodes >= 1);
   assert(window >= 1);
-  arrival_.assign(static_cast<std::size_t>(nodes),
-                  std::vector<Slot>(static_cast<std::size_t>(window),
-                                    kNeverArrived));
+  arrival_.assign(
+      static_cast<std::size_t>(nodes) * static_cast<std::size_t>(window),
+      kNeverArrived);
   missing_.assign(static_cast<std::size_t>(nodes), window);
 }
 
 void DelayRecorder::on_delivery(const Delivery& d) {
   if (d.tx.packet >= window_) return;
   if (d.tx.to >= nodes()) return;
-  auto& cell = arrival_[static_cast<std::size_t>(d.tx.to)]
-                       [static_cast<std::size_t>(d.tx.packet)];
+  auto& cell = row(d.tx.to)[static_cast<std::size_t>(d.tx.packet)];
   if (cell == kNeverArrived) {
     cell = d.received;
     --missing_[static_cast<std::size_t>(d.tx.to)];
@@ -29,7 +28,7 @@ void DelayRecorder::on_delivery(const Delivery& d) {
 
 Slot DelayRecorder::arrival(NodeKey node, PacketId p) const {
   assert(p >= 0 && p < window_);
-  return arrival_[static_cast<std::size_t>(node)][static_cast<std::size_t>(p)];
+  return row(node)[static_cast<std::size_t>(p)];
 }
 
 bool DelayRecorder::complete(NodeKey node) const {
@@ -38,10 +37,10 @@ bool DelayRecorder::complete(NodeKey node) const {
 
 std::optional<Slot> DelayRecorder::playback_delay(NodeKey node) const {
   if (!complete(node)) return std::nullopt;
-  const auto& row = arrival_[static_cast<std::size_t>(node)];
+  const Slot* arrivals = row(node);
   Slot a = 0;  // arrival(0) >= 0, so the max is never negative
   for (PacketId j = 0; j < window_; ++j) {
-    a = std::max(a, row[static_cast<std::size_t>(j)] - j);
+    a = std::max(a, arrivals[static_cast<std::size_t>(j)] - j);
   }
   return a;
 }

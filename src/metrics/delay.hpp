@@ -51,9 +51,20 @@ class DelayRecorder final : public sim::DeliveryObserver {
   NodeKey nodes() const { return static_cast<NodeKey>(missing_.size()); }
 
  private:
+  Slot* row(NodeKey node) {
+    return arrival_.data() +
+           static_cast<std::size_t>(node) * static_cast<std::size_t>(window_);
+  }
+  const Slot* row(NodeKey node) const {
+    return arrival_.data() +
+           static_cast<std::size_t>(node) * static_cast<std::size_t>(window_);
+  }
+
   PacketId window_;
-  std::vector<std::vector<Slot>> arrival_;  // [node][packet]
-  std::vector<PacketId> missing_;           // packets still unseen per node
+  /// Flat [node][packet] first-arrival matrix, stride window_ — one
+  /// contiguous allocation instead of a heap row per node.
+  std::vector<Slot> arrival_;
+  std::vector<PacketId> missing_;  // packets still unseen per node
 };
 
 }  // namespace streamcast::metrics

@@ -55,6 +55,34 @@ NodeKey structured_position(NodeKey n, int d, int k, NodeKey x) {
   return block * interior + slot + 1;
 }
 
+NodeKey structured_node_at(NodeKey n, int d, int k, NodeKey pos) {
+  const Forest shape(n, d);
+  const NodeKey interior = shape.interior();
+  if (pos < 1 || pos > shape.n_pad()) {
+    throw std::invalid_argument("position out of range");
+  }
+  if (k < 0 || k >= d) throw std::invalid_argument("tree index out of range");
+
+  if (pos > static_cast<NodeKey>(d) * interior) {
+    // Tail position: undo the k right-rotations of G_d.
+    const NodeKey off = pos - static_cast<NodeKey>(d) * interior - 1;
+    const NodeKey j = static_cast<NodeKey>(
+        util::mod_floor(off - static_cast<NodeKey>(k), d));
+    return static_cast<NodeKey>(d) * interior + j + 1;
+  }
+  // Interior position: block b hosts group (b + k) mod d, and the element
+  // slot undoes the floor(k / P) intra-group right-rotations.
+  const NodeKey block = (pos - 1) / interior;
+  const NodeKey slot = (pos - 1) % interior;
+  const std::int64_t p =
+      d / std::gcd(static_cast<std::int64_t>(interior),
+                   static_cast<std::int64_t>(d));
+  const NodeKey i = static_cast<NodeKey>((block + k) % d);
+  const NodeKey j = static_cast<NodeKey>(
+      util::mod_floor(slot - static_cast<NodeKey>(k / p), interior));
+  return i * interior + j + 1;
+}
+
 Forest build_structured(NodeKey n, int d) {
   Forest forest(n, d);
   const NodeKey interior = forest.interior();

@@ -27,4 +27,10 @@ Forest build_structured(NodeKey n, int d);
 /// k times. Verified equal to build_structured over an (N, d) grid.
 NodeKey structured_position(NodeKey n, int d, int k, NodeKey x);
 
+/// Exact inverse of structured_position: the node occupying position `pos`
+/// of tree k. With it the closed-form replay (src/scale) resolves parents
+/// and children without materializing any tree. Verified equal to
+/// build_structured's node_at over the same (N, d) grid.
+NodeKey structured_node_at(NodeKey n, int d, int k, NodeKey pos);
+
 }  // namespace streamcast::multitree

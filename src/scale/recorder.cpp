@@ -1,0 +1,114 @@
+#include "src/scale/recorder.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <string>
+
+namespace streamcast::scale {
+
+ScaleDelayRecorder::ScaleDelayRecorder(NodeKey nodes, PacketId window,
+                                       util::BudgetLedger* ledger)
+    : window_(window) {
+  assert(nodes >= 1);
+  assert(window >= 1);
+  const std::size_t cells =
+      static_cast<std::size_t>(nodes) * static_cast<std::size_t>(window);
+  if (ledger != nullptr) {
+    ledger->charge("scale/delay-recorder",
+                   cells * sizeof(std::int32_t) +
+                       static_cast<std::size_t>(nodes) *
+                           (sizeof(PacketId) + sizeof(std::int32_t)));
+  }
+  delta_.assign(cells, kNoDelta);
+  missing_.assign(static_cast<std::size_t>(nodes), window);
+  best_.assign(static_cast<std::size_t>(nodes), kNoDelta);
+}
+
+void ScaleDelayRecorder::on_delivery(const Delivery& d) {
+  if (d.tx.packet >= window_) return;
+  if (d.tx.to >= nodes()) return;
+  const auto node = static_cast<std::size_t>(d.tx.to);
+  auto& cell = delta_[node * static_cast<std::size_t>(window_) +
+                      static_cast<std::size_t>(d.tx.packet)];
+  if (cell != kNoDelta) return;  // first arrival only, like DelayRecorder
+  const Slot delta = d.received - d.tx.packet;
+  // Deltas are bounded by the horizon, far below 2^31; a schedule that
+  // breaks this would corrupt the compact encoding, so refuse loudly.
+  if (delta <= kNoDelta || delta > std::numeric_limits<std::int32_t>::max()) {
+    throw std::logic_error("scale recorder arrival delta out of int32 range");
+  }
+  cell = static_cast<std::int32_t>(delta);
+  --missing_[node];
+  if (cell > best_[node]) best_[node] = cell;
+}
+
+std::optional<Slot> ScaleDelayRecorder::playback_delay(NodeKey node) const {
+  if (!complete(node)) return std::nullopt;
+  // Identical to DelayRecorder: a = max(0, max_j (recv(j) - j)).
+  return std::max<Slot>(0, best_[static_cast<std::size_t>(node)]);
+}
+
+void ScaleDelayRecorder::arrivals(NodeKey node, std::vector<Slot>& row) const {
+  row.resize(static_cast<std::size_t>(window_));
+  const std::int32_t* cells =
+      delta_.data() +
+      static_cast<std::size_t>(node) * static_cast<std::size_t>(window_);
+  for (PacketId j = 0; j < window_; ++j) {
+    const std::int32_t delta = cells[static_cast<std::size_t>(j)];
+    if (delta == kNoDelta) {
+      throw std::logic_error("arrival row of an incomplete node");
+    }
+    row[static_cast<std::size_t>(j)] = j + static_cast<Slot>(delta);
+  }
+}
+
+ScaleNeighborRecorder::ScaleNeighborRecorder(NodeKey nodes, int cap,
+                                             util::BudgetLedger* ledger)
+    : cap_(cap) {
+  assert(nodes >= 1);
+  if (cap < 1 || cap >= kSaturated) {
+    throw std::invalid_argument("neighbor cap must be in [1, 254]");
+  }
+  const std::size_t cells =
+      static_cast<std::size_t>(nodes) * static_cast<std::size_t>(cap);
+  if (ledger != nullptr) {
+    ledger->charge("scale/neighbor-recorder",
+                   cells * sizeof(NodeKey) + static_cast<std::size_t>(nodes));
+  }
+  partners_.assign(cells, sim::kNoNode);
+  used_.assign(static_cast<std::size_t>(nodes), 0);
+}
+
+void ScaleNeighborRecorder::insert(NodeKey node, NodeKey partner) {
+  if (node < 0 || static_cast<std::size_t>(node) >= used_.size()) return;
+  auto& used = used_[static_cast<std::size_t>(node)];
+  if (used == kSaturated) return;
+  NodeKey* row =
+      partners_.data() +
+      static_cast<std::size_t>(node) * static_cast<std::size_t>(cap_);
+  for (std::uint8_t i = 0; i < used; ++i) {
+    if (row[i] == partner) return;
+  }
+  if (used == cap_) {
+    used = kSaturated;
+    return;
+  }
+  row[used++] = partner;
+}
+
+void ScaleNeighborRecorder::on_delivery(const Delivery& d) {
+  insert(d.tx.to, d.tx.from);
+  insert(d.tx.from, d.tx.to);
+}
+
+std::size_t ScaleNeighborRecorder::count(NodeKey node) const {
+  const std::uint8_t used = used_[static_cast<std::size_t>(node)];
+  if (used == kSaturated) {
+    throw std::logic_error(
+        "node " + std::to_string(node) + " exceeded the neighbor cap of " +
+        std::to_string(cap_) + "; raise ScaleOptions::neighbor_cap");
+  }
+  return used;
+}
+
+}  // namespace streamcast::scale

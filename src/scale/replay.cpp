@@ -1,0 +1,238 @@
+#include "src/scale/replay.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "src/multitree/analysis.hpp"
+#include "src/util/budget.hpp"
+#include "src/util/ints.hpp"
+
+namespace streamcast::scale {
+
+namespace {
+
+/// The structured position lattice (src/multitree/structured.cpp) with the
+/// per-call Forest construction stripped: pure O(1) arithmetic in both
+/// directions, cheap enough for the O(N·d) replay loop.
+struct Lattice {
+  NodeKey n = 0;
+  int d = 0;
+  NodeKey interior = 0;  // I = ceil(n/d) - 1
+  NodeKey n_pad = 0;     // d * (I + 1)
+  std::int64_t p = 1;    // intra-group rotation period P = d / gcd(I, d)
+
+  Lattice(NodeKey n_in, int d_in) : n(n_in), d(d_in) {
+    interior = static_cast<NodeKey>(
+        util::ceil_div(static_cast<std::int64_t>(n), d) - 1);
+    n_pad = static_cast<NodeKey>(d) * (interior + 1);
+    p = interior == 0
+            ? 1
+            : d / std::gcd(static_cast<std::int64_t>(interior),
+                           static_cast<std::int64_t>(d));
+  }
+
+  /// multitree::structured_position without the shape Forest.
+  NodeKey position_of(int k, NodeKey x) const {
+    if (x > static_cast<NodeKey>(d) * interior) {
+      const NodeKey j = x - static_cast<NodeKey>(d) * interior - 1;
+      return static_cast<NodeKey>(d) * interior +
+             (j + static_cast<NodeKey>(k)) % static_cast<NodeKey>(d) + 1;
+    }
+    const NodeKey i = (x - 1) / interior;
+    const NodeKey j = (x - 1) % interior;
+    const NodeKey block = static_cast<NodeKey>(((i - k) % d + d) % d);
+    const NodeKey slot =
+        (j + static_cast<NodeKey>(k / p)) % interior;
+    return block * interior + slot + 1;
+  }
+
+  /// Exact inverse (multitree::structured_node_at without the Forest).
+  NodeKey node_at(int k, NodeKey pos) const {
+    if (pos > static_cast<NodeKey>(d) * interior) {
+      const NodeKey off = pos - static_cast<NodeKey>(d) * interior - 1;
+      const NodeKey j = static_cast<NodeKey>(
+          util::mod_floor(off - static_cast<NodeKey>(k), d));
+      return static_cast<NodeKey>(d) * interior + j + 1;
+    }
+    const NodeKey block = (pos - 1) / interior;
+    const NodeKey slot = (pos - 1) % interior;
+    const NodeKey i = static_cast<NodeKey>((block + k) % d);
+    const NodeKey j = static_cast<NodeKey>(util::mod_floor(
+        slot - static_cast<NodeKey>(k / p), interior));
+    return i * interior + j + 1;
+  }
+
+  /// Depth of a position (source = 0), i.e. Forest::depth_of.
+  int depth_of(NodeKey pos) const {
+    int depth = 0;
+    while (pos > 0) {
+      pos = (pos - 1) / static_cast<NodeKey>(d);
+      ++depth;
+    }
+    return depth;
+  }
+};
+
+/// A(p) for every position, the recurrence of multitree::arrival_offsets
+/// run over the bare lattice.
+std::vector<Slot> lattice_offsets(const Lattice& lat) {
+  std::vector<Slot> offset(static_cast<std::size_t>(lat.n_pad) + 1, 0);
+  for (NodeKey pos = 1; pos <= lat.n_pad; ++pos) {
+    const auto c = static_cast<Slot>((pos - 1) % lat.d);
+    if (pos <= static_cast<NodeKey>(lat.d)) {
+      offset[static_cast<std::size_t>(pos)] = c;
+    } else {
+      const Slot parent =
+          offset[static_cast<std::size_t>((pos - 1) / lat.d)];
+      offset[static_cast<std::size_t>(pos)] =
+          parent + 1 + util::mod_floor(c - parent - 1, lat.d);
+    }
+  }
+  return offset;
+}
+
+}  // namespace
+
+ReplayReport replay_structured(const ReplayConfig& config,
+                               const ScaleOptions& options) {
+  const NodeKey n = config.n;
+  const int d = config.d;
+  if (n < 1) throw std::invalid_argument("n < 1");
+  if (d < 1) throw std::invalid_argument("d < 1");
+
+  const Lattice lat(n, d);
+  util::BudgetLedger ledger(util::MemoryBudget{options.budget_bytes});
+  ledger.charge("scale/replay-offsets",
+                (static_cast<std::size_t>(lat.n_pad) + 1) * sizeof(Slot));
+  const std::vector<Slot> offsets = lattice_offsets(lat);
+
+  // Session/registry defaults, mirrored exactly (byte-match tests keep the
+  // two in lockstep): window 2·d·(height+2), slack 4 + h·d + 3·d.
+  const int height = lat.depth_of(lat.n_pad);
+  const PacketId window =
+      config.window > 0 ? config.window
+                        : PacketId{2} * d * (height + 2);
+  if (window < d) {
+    throw std::invalid_argument(
+        "closed-form replay needs window >= d (every residue measured)");
+  }
+  const Slot slack = config.slack >= 0
+                         ? config.slack
+                         : 4 + multitree::worst_delay_bound(n, d) + 3 * d;
+  const Slot horizon = window + slack;
+  const Slot shift = config.prebuffered ? d : 0;
+
+  // Dummy occupancy of the G_d tail positions: tree k places dummy id x at
+  // tail offset (x - dI - 1 + k) mod d. Only these d positions ever host a
+  // dummy, so the per-position live-tree count is d everywhere else.
+  std::vector<int> tail_dummies(static_cast<std::size_t>(d), 0);
+  for (NodeKey x = n + 1; x <= lat.n_pad; ++x) {
+    const NodeKey j = x - static_cast<NodeKey>(d) * lat.interior - 1;
+    for (int k = 0; k < d; ++k) {
+      ++tail_dummies[static_cast<std::size_t>(
+          (j + static_cast<NodeKey>(k)) % static_cast<NodeKey>(d))];
+    }
+  }
+
+  // Transmissions: every position p receives one send per live tree at each
+  // slot ≡ A(p) (mod d) from A(p) on (shifted wholesale in live-prebuffered
+  // mode); dummy targets are skipped by the schedule but their round-robin
+  // turn still passes, so they simply subtract from the live-tree count.
+  std::int64_t transmissions = 0;
+  const NodeKey tail_base = static_cast<NodeKey>(d) * lat.interior;
+  for (NodeKey pos = 1; pos <= lat.n_pad; ++pos) {
+    const int live =
+        d - (pos > tail_base
+                 ? tail_dummies[static_cast<std::size_t>(pos - tail_base - 1)]
+                 : 0);
+    const Slot first = offsets[static_cast<std::size_t>(pos)] + shift;
+    if (first <= horizon - 1) {
+      transmissions += static_cast<std::int64_t>(live) *
+                       ((horizon - 1 - first) / d + 1);
+    }
+  }
+
+  ReplayReport report;
+  report.window = window;
+  report.horizon = horizon;
+  report.transmissions = transmissions;
+  report.summary.nodes = n;
+  report.summary.epsilon = options.epsilon;
+  report.summary.replayed = true;
+  report.summary.budget_bytes = options.budget_bytes;
+
+  DistributionSketch delay_sketch(options.epsilon, &ledger);
+  DistributionSketch buffer_sketch(options.epsilon, &ledger);
+
+  double delay_sum = 0;
+  double buffer_sum = 0;
+  double neighbor_sum = 0;
+  std::vector<Slot> residue(static_cast<std::size_t>(d), 0);
+  std::vector<NodeKey> partners;
+  partners.reserve(2 * static_cast<std::size_t>(d));
+  for (NodeKey x = 1; x <= n; ++x) {
+    // Residue constants c_k = A(pos_k(x)) − k (+shift): packets j ≡ k
+    // (mod d) arrive at slot j + c_k. The playback delay is their max,
+    // clamped at 0 exactly like DelayRecorder.
+    Slot a = 0;
+    partners.clear();
+    for (int k = 0; k < d; ++k) {
+      const NodeKey pos = lat.position_of(k, x);
+      const Slot c = offsets[static_cast<std::size_t>(pos)] - k + shift;
+      residue[static_cast<std::size_t>(k)] = c;
+      a = std::max(a, c);
+      const NodeKey parent_pos = (pos - 1) / static_cast<NodeKey>(d);
+      partners.push_back(parent_pos == 0 ? NodeKey{0}
+                                         : lat.node_at(k, parent_pos));
+    }
+    report.worst_delay = std::max(report.worst_delay, a);
+    delay_sum += static_cast<double>(a);
+
+    // Receive capacity 1 makes the occupancy maximum land exactly at the
+    // playback start: occ = #{window packets arrived by slot a}, counted
+    // residue by residue.
+    std::size_t occ = 0;
+    for (int k = 0; k < d && k < window; ++k) {
+      const Slot num = a - residue[static_cast<std::size_t>(k)] - k;
+      if (num < 0) continue;
+      const Slot hi = std::min<Slot>((window - 1 - k) / d, num / d);
+      occ += static_cast<std::size_t>(hi) + 1;
+    }
+    report.max_buffer = std::max(report.max_buffer, occ);
+    buffer_sum += static_cast<double>(occ);
+
+    delay_sketch.add(a);
+    buffer_sketch.add(static_cast<std::int64_t>(occ));
+
+    // Children exist only in the single tree where x is interior (block 0
+    // of group i = (x-1)/I); dummies never receive a send.
+    if (lat.interior > 0 &&
+        x <= static_cast<NodeKey>(d) * lat.interior) {
+      const int i = static_cast<int>((x - 1) / lat.interior);
+      const NodeKey pos = lat.position_of(i, x);
+      for (int c = 0; c < d; ++c) {
+        const NodeKey cp =
+            static_cast<NodeKey>(d) * pos + 1 + static_cast<NodeKey>(c);
+        const NodeKey child = lat.node_at(i, cp);
+        if (child <= n) partners.push_back(child);
+      }
+    }
+    std::sort(partners.begin(), partners.end());
+    const auto distinct = static_cast<std::size_t>(
+        std::unique(partners.begin(), partners.end()) - partners.begin());
+    report.max_neighbors = std::max(report.max_neighbors, distinct);
+    neighbor_sum += static_cast<double>(distinct);
+  }
+
+  report.average_delay = delay_sum / static_cast<double>(n);
+  report.average_buffer = buffer_sum / static_cast<double>(n);
+  report.average_neighbors = neighbor_sum / static_cast<double>(n);
+  report.summary.delay = delay_sketch.summarize();
+  report.summary.buffer = buffer_sketch.summarize();
+  report.summary.bytes_peak = ledger.peak();
+  return report;
+}
+
+}  // namespace streamcast::scale

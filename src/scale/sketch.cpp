@@ -1,0 +1,148 @@
+#include "src/scale/sketch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace streamcast::scale {
+
+std::int64_t StreamingMoments::min() const {
+  if (count_ == 0) throw std::logic_error("moments of an empty stream");
+  return min_;
+}
+
+std::int64_t StreamingMoments::max() const {
+  if (count_ == 0) throw std::logic_error("moments of an empty stream");
+  return max_;
+}
+
+double StreamingMoments::mean() const {
+  if (count_ == 0) throw std::logic_error("moments of an empty stream");
+  return sum_ / static_cast<double>(count_);
+}
+
+GkSketch::GkSketch(double epsilon, util::BudgetLedger* ledger)
+    : epsilon_(epsilon), ledger_(ledger) {
+  if (!(epsilon > 0.0) || epsilon >= 0.5) {
+    throw std::invalid_argument("GkSketch epsilon must be in (0, 0.5)");
+  }
+  buffer_capacity_ = std::max<std::size_t>(
+      16, static_cast<std::size_t>(std::floor(1.0 / (2.0 * epsilon))));
+}
+
+void GkSketch::add(std::int64_t v) {
+  buffer_.push_back(v);
+  if (buffer_.size() >= buffer_capacity_) flush();
+}
+
+void GkSketch::charge_growth() {
+  if (ledger_ == nullptr) return;
+  const std::size_t bytes = summary_.capacity() * sizeof(Tuple) +
+                            buffer_.capacity() * sizeof(std::int64_t);
+  if (bytes > charged_bytes_) {
+    ledger_->charge("scale/quantile-sketch", bytes - charged_bytes_);
+    charged_bytes_ = bytes;
+  }
+}
+
+void GkSketch::flush() {
+  if (buffer_.empty()) return;
+  std::sort(buffer_.begin(), buffer_.end());
+  n_ += static_cast<std::int64_t>(buffer_.size());
+  // Rank-uncertainty cap after this batch lands. New interior tuples take
+  // Δ = max_err - 1 (the classic insert), extremes take Δ = 0 so min/max
+  // stay exact.
+  const auto max_err = static_cast<std::int64_t>(
+      std::floor(2.0 * epsilon_ * static_cast<double>(n_)));
+
+  std::vector<Tuple> merged;
+  merged.reserve(summary_.size() + buffer_.size());
+  std::size_t si = 0;
+  std::size_t bi = 0;
+  while (si < summary_.size() || bi < buffer_.size()) {
+    const bool take_buffer =
+        si == summary_.size() ||
+        (bi < buffer_.size() && buffer_[bi] < summary_[si].v);
+    if (take_buffer) {
+      const bool extreme =
+          merged.empty() ||
+          (si == summary_.size() && bi + 1 == buffer_.size());
+      merged.push_back(Tuple{.v = buffer_[bi],
+                             .g = 1,
+                             .delta = extreme ? 0
+                                             : std::max<std::int64_t>(
+                                                   0, max_err - 1)});
+      ++bi;
+    } else {
+      merged.push_back(summary_[si]);
+      ++si;
+    }
+  }
+  buffer_.clear();
+
+  // Compress right-to-left: fold tuple i into its successor while the
+  // combined rank mass stays within the error cap. The first and last
+  // tuples are exempt, keeping the extremes exact.
+  std::vector<Tuple> compressed;
+  compressed.reserve(merged.size());
+  // Build back-to-front, then reverse.
+  Tuple carry = merged.back();
+  for (std::size_t i = merged.size() - 1; i-- > 0;) {
+    const Tuple& cur = merged[i];
+    const bool is_first = i == 0;
+    if (!is_first && cur.g + carry.g + carry.delta <= max_err) {
+      carry.g += cur.g;  // cur folds into its successor
+    } else {
+      compressed.push_back(carry);
+      carry = cur;
+    }
+  }
+  compressed.push_back(carry);
+  std::reverse(compressed.begin(), compressed.end());
+  summary_ = std::move(compressed);
+  charge_growth();
+}
+
+std::int64_t GkSketch::quantile(double q) {
+  flush();
+  if (n_ == 0) throw std::logic_error("quantile of an empty sketch");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile q not in [0,1]");
+  const std::int64_t r = std::clamp<std::int64_t>(
+      static_cast<std::int64_t>(std::ceil(q * static_cast<double>(n_))), 1,
+      n_);
+  const auto tolerance = static_cast<std::int64_t>(
+      std::floor(epsilon_ * static_cast<double>(n_)));
+  std::int64_t rmin = 0;
+  // First tuple whose rank envelope [rmin, rmin + Δ] surrounds r within the
+  // ε·n tolerance (one always exists by the compression invariant); the
+  // closest-midpoint tuple is kept as a safety net.
+  std::int64_t best_v = summary_.front().v;
+  std::int64_t best_dist = std::numeric_limits<std::int64_t>::max();
+  for (const Tuple& t : summary_) {
+    rmin += t.g;
+    const std::int64_t rmax = rmin + t.delta;
+    if (r - rmin <= tolerance && rmax - r <= tolerance) return t.v;
+    const std::int64_t mid = (rmin + rmax) / 2;
+    const std::int64_t dist = mid > r ? mid - r : r - mid;
+    if (dist < best_dist) {
+      best_dist = dist;
+      best_v = t.v;
+    }
+  }
+  return best_v;
+}
+
+QuantileSummary DistributionSketch::summarize() {
+  QuantileSummary s;
+  s.count = moments_.count();
+  if (s.count == 0) return s;
+  s.min = moments_.min();
+  s.max = moments_.max();
+  s.mean = moments_.mean();
+  s.p50 = gk_.quantile(0.50);
+  s.p95 = gk_.quantile(0.95);
+  s.p99 = gk_.quantile(0.99);
+  return s;
+}
+
+}  // namespace streamcast::scale

@@ -145,7 +145,8 @@ Envelope envelope_single_tree(const SessionConfig& config) {
 
 constexpr Capabilities kMultiTreeCaps{.live_modes = true,
                                       .memoized_schedule = true,
-                                      .degree_sweep = true};
+                                      .degree_sweep = true,
+                                      .closed_form_replay = true};
 
 const Descriptor kRegistry[] = {
     {.id = Scheme::kMultiTreeStructured,

@@ -68,6 +68,10 @@ struct Capabilities {
   /// The degree parameter d is meaningful (benches sweep it; schemes with
   /// d fixed at 1 run a single chain).
   bool degree_sweep = false;
+  /// Lossless runs of this scheme can be replayed in closed form by
+  /// scale::replay_structured (DESIGN.md §11): the schedule is d-periodic
+  /// position arithmetic, so QoS aggregates need no per-slot simulation.
+  bool closed_form_replay = false;
 };
 
 /// The §7 audit envelope a scheme claims on reliable links: worst playback

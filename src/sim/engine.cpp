@@ -39,11 +39,34 @@ std::uint64_t delivery_key(NodeKey node, PacketId packet) {
 Engine::Engine(const net::Topology& topology, Protocol& protocol,
                EngineOptions options)
     : topology_(topology), protocol_(protocol), options_(options) {
-  send_used_.resize(static_cast<std::size_t>(topology_.size()));
-  recv_used_.resize(static_cast<std::size_t>(topology_.size()));
-  seen_bits_.resize(static_cast<std::size_t>(topology_.size()));
+  const auto n = static_cast<std::size_t>(topology_.size());
+  charge("sim/capacity-epochs",
+         2 * n * (sizeof(Slot) + sizeof(std::int32_t)));
+  send_epoch_.assign(n, Slot{-1});
+  send_count_.assign(n, 0);
+  recv_epoch_.assign(n, Slot{-1});
+  recv_count_.assign(n, 0);
+  // Lay the duplicate bitmap out once when the caller knows the packet
+  // range; otherwise start with one word per node and re-layout on demand.
+  const std::size_t hint_words =
+      options_.packet_window_hint > 0
+          ? static_cast<std::size_t>((options_.packet_window_hint + 63) >> 6)
+          : 1;
+  seen_stride_ = std::bit_ceil(hint_words);
+  charge("sim/seen-bitmaps", n * seen_stride_ * sizeof(std::uint64_t));
+  seen_words_.assign(n * seen_stride_, 0);
   ring_.resize(8);
   ring_mask_ = ring_.size() - 1;
+}
+
+Engine::~Engine() {
+  if (options_.budget != nullptr) options_.budget->release(charged_bytes_);
+}
+
+void Engine::charge(const char* component, std::size_t bytes) {
+  if (options_.budget == nullptr) return;
+  options_.budget->charge(component, bytes);
+  charged_bytes_ += bytes;
 }
 
 void Engine::run_until(Slot horizon) {
@@ -64,16 +87,37 @@ void Engine::grow_ring(Slot max_latency) {
   ring_mask_ = mask;
 }
 
+void Engine::grow_seen(std::size_t word) {
+  const std::size_t n = send_epoch_.size();
+  const std::size_t stride = std::bit_ceil(word + 1);
+  // Both layouts are live during the copy; charge the new one first (fail
+  // fast before allocating), release the old one after the swap.
+  charge("sim/seen-bitmaps", n * stride * sizeof(std::uint64_t));
+  std::vector<std::uint64_t> next(n * stride, 0);
+  for (std::size_t node = 0; node < n; ++node) {
+    std::copy_n(seen_words_.data() + node * seen_stride_, seen_stride_,
+                next.data() + node * stride);
+  }
+  seen_words_ = std::move(next);
+  if (options_.budget != nullptr) {
+    const std::size_t old_bytes = n * seen_stride_ * sizeof(std::uint64_t);
+    options_.budget->release(old_bytes);
+    charged_bytes_ -= old_bytes;
+  }
+  seen_stride_ = stride;
+}
+
 bool Engine::seen_before(NodeKey node, PacketId packet) {
   if (packet >= kControlIdBase) {
     return !seen_control_.insert(delivery_key(node, packet)).second;
   }
-  auto& bits = seen_bits_[static_cast<std::size_t>(node)];
   const auto word = static_cast<std::size_t>(packet >> 6);
-  if (word >= bits.size()) bits.resize(std::bit_ceil(word + 1), 0);
+  if (word >= seen_stride_) grow_seen(word);
+  auto& bits =
+      seen_words_[static_cast<std::size_t>(node) * seen_stride_ + word];
   const std::uint64_t mask = std::uint64_t{1} << (packet & 63);
-  const bool seen = (bits[word] & mask) != 0;
-  bits[word] |= mask;
+  const bool seen = (bits & mask) != 0;
+  bits |= mask;
   return seen;
 }
 
@@ -90,12 +134,13 @@ void Engine::step() {
     }
     if (tx.from == tx.to) violation("self transmission", t, tx);
     if (tx.packet < 0) violation("negative packet id", t, tx);
-    auto& sender = send_used_[static_cast<std::size_t>(tx.from)];
-    if (sender.epoch != t) {
-      sender.epoch = t;
-      sender.used = 0;
+    const auto from = static_cast<std::size_t>(tx.from);
+    if (send_epoch_[from] != t) {
+      send_epoch_[from] = t;
+      send_count_[from] = 0;
     }
-    if (++sender.used > topology_.send_capacity(tx.from) && options_.enforce) {
+    if (++send_count_[from] > topology_.send_capacity(tx.from) &&
+        options_.enforce) {
       violation("send capacity exceeded", t, tx);
     }
     const Slot latency = topology_.latency(tx.from, tx.to);
@@ -119,12 +164,12 @@ void Engine::step() {
   if (!bucket.empty()) {
     for (const Delivery& d : bucket) {
       assert(d.received == t);
-      auto& receiver = recv_used_[static_cast<std::size_t>(d.tx.to)];
-      if (receiver.epoch != t) {
-        receiver.epoch = t;
-        receiver.used = 0;
+      const auto to = static_cast<std::size_t>(d.tx.to);
+      if (recv_epoch_[to] != t) {
+        recv_epoch_[to] = t;
+        recv_count_[to] = 0;
       }
-      if (++receiver.used > topology_.recv_capacity(d.tx.to) &&
+      if (++recv_count_[to] > topology_.recv_capacity(d.tx.to) &&
           options_.enforce) {
         violation("receive capacity exceeded", t, d.tx);
       }

@@ -17,15 +17,25 @@
 // EngineStats, reported to observers via on_drop, and otherwise invisible to
 // the receiving side — exactly an erasure channel.
 //
-// Hot-path data structures (DESIGN.md §8): capacity counters are
-// epoch-stamped (a counter is "zero" whenever its stamp is not the current
-// slot), so a slot costs O(#transmissions), never O(N) counter fills;
-// duplicate detection for stream packets uses a per-node packet bitmap (one
-// bit per delivered packet id) instead of a hash set of (node, packet) keys.
-// Control-plane ids (>= kControlIdBase) are sparse and stay in a hash set.
+// Hot-path data structures (DESIGN.md §8, §11): all per-node state lives in
+// flat structure-of-arrays storage. Capacity counters are epoch-stamped (a
+// counter is "zero" whenever its stamp is not the current slot), so a slot
+// costs O(#transmissions), never O(N) counter fills; the epochs and counts
+// are separate contiguous arrays, not an array of structs, so the phase-1
+// loop touches only the bytes it reads. Duplicate detection for stream
+// packets uses one flat bitmap for ALL nodes — a power-of-two word stride
+// per node — instead of N separately heap-allocated bitmap vectors; at
+// N = 10^6 that removes a million 2-pointer indirections and their
+// allocator metadata. Control-plane ids (>= kControlIdBase) are sparse and
+// stay in a hash set.
+//
+// Every O(N) allocation is charged to the optional util::BudgetLedger
+// before it happens, so an oversized world fails fast with BudgetExceeded
+// instead of OOM-ing the host (DESIGN.md §11).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -34,6 +44,7 @@
 
 #include "src/net/topology.hpp"
 #include "src/sim/protocol.hpp"
+#include "src/util/budget.hpp"
 
 namespace streamcast::loss {
 class LossModel;
@@ -67,6 +78,14 @@ struct EngineOptions {
   /// send and negative-id violations always throw: they are memory-safety
   /// guards, not schedule properties.
   bool enforce = true;
+  /// Expected stream-packet id range. Sizes the duplicate bitmap up front so
+  /// the run never pays a mid-run re-layout; 0 starts minimal and grows on
+  /// demand (amortized O(1), exactly as before).
+  PacketId packet_window_hint = 0;
+  /// When non-null, every O(N) engine allocation is charged here before it
+  /// happens (fail fast with BudgetExceeded, never OOM). Must outlive the
+  /// engine.
+  util::BudgetLedger* budget = nullptr;
 };
 
 struct EngineStats {
@@ -84,6 +103,10 @@ class Engine {
  public:
   Engine(const net::Topology& topology, Protocol& protocol,
          EngineOptions options = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
 
   /// Simulates slots [now, horizon). Callable repeatedly with increasing
   /// horizons.
@@ -103,15 +126,9 @@ class Engine {
  private:
   void step();
   void grow_ring(Slot max_latency);
+  void grow_seen(std::size_t word);
   bool seen_before(NodeKey node, PacketId packet);
-
-  /// Per-node per-slot capacity counter. The stamp says which slot `used`
-  /// belongs to; a stale stamp reads as zero, so no per-slot reset pass is
-  /// needed (the epoch-stamp trick, DESIGN.md §8).
-  struct StampedCount {
-    Slot epoch = -1;
-    int used = 0;
-  };
+  void charge(const char* component, std::size_t bytes);
 
   const net::Topology& topology_;
   Protocol& protocol_;
@@ -124,17 +141,26 @@ class Engine {
   /// bench.
   std::vector<std::vector<Delivery>> ring_;
   std::size_t ring_mask_ = 0;
-  /// Per-node delivered-packet bitmaps for stream ids (< kControlIdBase);
-  /// bit j of seen_bits_[node] is packet j. Grown on demand, amortized O(1).
-  std::vector<std::vector<std::uint64_t>> seen_bits_;
+  /// Delivered-packet bitmaps for stream ids (< kControlIdBase), all nodes
+  /// in one flat allocation: bit j of node x is word x·stride + (j >> 6).
+  /// The stride is a power of two, re-laid out on demand.
+  std::vector<std::uint64_t> seen_words_;
+  std::size_t seen_stride_ = 0;
   /// Sparse control-plane ids (>= kControlIdBase) keep the hash set; repair
   /// bookkeeping traffic is rare so this is off the hot path.
   std::unordered_set<std::uint64_t> seen_control_;
   std::vector<DeliveryObserver*> observers_;
   loss::LossModel* loss_ = nullptr;
   std::vector<Tx> tx_scratch_;
-  std::vector<StampedCount> send_used_;
-  std::vector<StampedCount> recv_used_;
+  /// Per-node per-slot capacity counters, epoch-stamped and split into
+  /// parallel epoch/count arrays (a stale epoch reads as count zero, so no
+  /// per-slot reset pass is needed — DESIGN.md §8).
+  std::vector<Slot> send_epoch_;
+  std::vector<std::int32_t> send_count_;
+  std::vector<Slot> recv_epoch_;
+  std::vector<std::int32_t> recv_count_;
+  /// Bytes currently charged to options_.budget (released on destruction).
+  std::size_t charged_bytes_ = 0;
   EngineStats stats_;
 };
 

@@ -1,16 +1,27 @@
 #!/usr/bin/env python3
-"""Compare a BENCH_engine.json run against the checked-in baseline.
+"""Compare a BENCH_engine.json / BENCH_scale.json run against the baseline.
 
 Usage:
     tools/bench_compare.py CURRENT.json [BASELINE.json]
                            [--tolerance 0.10] [--update]
 
 Fails (exit 1) when the current run regresses:
-  * ``byte_identical`` is false — the parallel runner broke determinism;
+  * ``byte_identical`` is false — the parallel runner broke determinism
+    (engine bench), or the closed-form replay stopped matching the per-slot
+    pump (scale bench);
   * serial ``slots_per_sec`` fell more than ``--tolerance`` below baseline;
   * parallel ``slots_per_sec`` or ``speedup`` fell more than the tolerance
     below baseline, compared only when both runs used the same thread
     count (a 1-core shard is not a regression relative to an 8-core one).
+
+Scale benches (a ``curve`` array, from bench/perf_scale): the gate checks
+``byte_identical`` and ``within_budget``, then compares replay nodes/sec at
+every N the two curves share.
+
+Single-thread baselines: a baseline recorded with ``hardware_threads: 1``
+cannot say anything about parallel speedup (its own speedup is ~1.0 by
+construction). The comparison still runs, but a loud warning is printed and
+any ``warnings`` array embedded in the baseline JSON is echoed.
 
 Scheme filters: perf_sweep emits the canonical scheme names its grid
 covered as a ``schemes`` array (it accepts ``--schemes=a,b`` to restrict
@@ -57,6 +68,39 @@ def check_ratio(label: str, current: float, baseline: float,
     return []
 
 
+def warn_single_thread_baseline(baseline: dict,
+                                baseline_path: pathlib.Path) -> None:
+    for note in baseline.get("warnings", []):
+        print(f"  baseline warning: {note}")
+    if baseline.get("hardware_threads") == 1:
+        print("  " + "!" * 66)
+        print(f"  !! baseline {baseline_path.name} was recorded on a "
+              f"1-thread host.")
+        print("  !! Its parallel speedup (~1.0x) says nothing about "
+              "multi-core scaling;")
+        print("  !! re-baseline with --update on a multi-core host before "
+              "trusting it.")
+        print("  " + "!" * 66)
+
+
+def compare_scale(current: dict, baseline: dict, tolerance: float,
+                  failures: list[str]) -> None:
+    if not current.get("within_budget", False):
+        failures.append("scale run exceeded its declared memory budget")
+    base_points = {p["n"]: p for p in baseline.get("curve", [])}
+    for point in current.get("curve", []):
+        base = base_points.get(point["n"])
+        if base is None:
+            print(f"  n={point['n']:>9}: no baseline point, skipped")
+            continue
+        failures.extend(check_ratio(
+            f"replay nodes/sec @ n={point['n']}",
+            point["replay_nodes_per_sec"],
+            base["replay_nodes_per_sec"],
+            tolerance,
+        ))
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("current", type=pathlib.Path)
@@ -82,11 +126,29 @@ def main() -> int:
     baseline = load(args.baseline)
     failures: list[str] = []
 
-    if not current.get("byte_identical", False):
-        failures.append("parallel reports are not byte-identical to serial")
-
     print(f"bench_compare: {args.current} vs {args.baseline} "
           f"(tolerance {args.tolerance:.0%})")
+    warn_single_thread_baseline(baseline, args.baseline)
+
+    if "curve" in current or "curve" in baseline:
+        if ("curve" in current) != ("curve" in baseline):
+            failures.append("scale curve present in only one of the two "
+                            "files; compare like with like")
+        else:
+            if not current.get("byte_identical", False):
+                failures.append("closed-form replay does not byte-match the "
+                                "per-slot pump")
+            compare_scale(current, baseline, args.tolerance, failures)
+        if failures:
+            print("bench_compare: FAIL")
+            for failure in failures:
+                print(f"  - {failure}")
+            return 1
+        print("bench_compare: PASS")
+        return 0
+
+    if not current.get("byte_identical", False):
+        failures.append("parallel reports are not byte-identical to serial")
 
     cur_schemes = current.get("schemes")
     if args.schemes is not None:
