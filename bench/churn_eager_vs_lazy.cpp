@@ -3,9 +3,16 @@
 // alternating boundary ops (the paper's motivating worst case for eager),
 // a balanced random mix, and a flash crowd. Cost = (peer, tree) position
 // moves, the per-node hiccup proxy; the paper's per-op bound is d^2 + d.
+//
+// The "adaptive" rows run the same workloads on the Zhu-Hajek dynamic
+// forest (scheme #8), which never relabels: its cost surfaces as
+// reattach/promote-swap moves ("reseats" column) and rebalance moves, with
+// the structural invariants re-checked from the public accessors.
 #include <iostream>
+#include <vector>
 
 #include "bench/bench_util.hpp"
+#include "src/dyntree/forest.hpp"
 #include "src/multitree/churn.hpp"
 #include "src/multitree/validate.hpp"
 #include "src/util/prng.hpp"
@@ -21,6 +28,77 @@ struct Result {
   multitree::ChurnStats stats;
   bool valid = true;
 };
+
+/// Adaptive competitor outcome, mapped onto the shared table: "reseats" =
+/// reattaches + promote swaps (the never-relabeling analogue of relabel
+/// moves), "rebuild moves" = rebalance moves.
+struct AdaptiveResult {
+  std::int64_t ops = 0;
+  std::int64_t reseats = 0;
+  std::int64_t rebalance_moves = 0;
+  bool valid = true;
+};
+
+/// Structural check over the public accessors: every live peer attached and
+/// internal in exactly one tree, nobody over seat capacity except the
+/// counted source-emergency overflow.
+bool dyntree_valid(const dyntree::DynamicForest& f) {
+  const int d = f.d();
+  for (int k = 0; k < d; ++k) {
+    for (sim::NodeKey key = 0; key < f.key_end(); ++key) {
+      const bool alive = key == 0 || f.live(key);
+      for (const sim::NodeKey child : f.children(k, key)) {
+        if (!f.live(child) || f.parent(k, child) != key) return false;
+      }
+      if (!alive && !f.children(k, key).empty()) return false;
+      if (key != 0 && alive) {
+        const int cap = f.internal_tree(key) == k ? d : 0;
+        if (static_cast<int>(f.children(k, key).size()) > cap) return false;
+        if (f.parent(k, key) == sim::kNoNode) return false;
+      }
+    }
+  }
+  return true;
+}
+
+AdaptiveResult run_adaptive(sim::NodeKey n, int d, std::uint64_t seed,
+                            int events, double p_arrive_first,
+                            double p_arrive_second, bool alternate) {
+  dyntree::DynamicForest f(d, seed);
+  std::vector<sim::NodeKey> live;
+  for (sim::NodeKey i = 0; i < n; ++i) live.push_back(f.join());
+  f.rebalance();
+  const auto base = f.stats();
+  const std::int64_t base_balance = base.balance_moves;
+
+  util::Prng rng(seed * 13 + 5);
+  for (int e = 0; e < events; ++e) {
+    if (alternate) {
+      const sim::NodeKey p = f.join();
+      f.leave(p);
+    } else {
+      const double p_arrive =
+          e < events / 2 ? p_arrive_first : p_arrive_second;
+      if (live.size() > 2 && !rng.chance(p_arrive)) {
+        const auto i = static_cast<std::size_t>(rng.below(live.size()));
+        f.leave(live[i]);
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        live.push_back(f.join());
+      }
+    }
+    f.rebalance();
+  }
+
+  AdaptiveResult r;
+  const auto& s = f.stats();
+  r.ops = alternate ? 2 * events : events;
+  r.reseats = (s.reattach_moves - base.reattach_moves) +
+              (s.promote_swaps - base.promote_swaps);
+  r.rebalance_moves = s.balance_moves - base_balance;
+  r.valid = dyntree_valid(f);
+  return r;
+}
 
 Result alternating(ChurnPolicy policy, sim::NodeKey n, int d, int rounds) {
   ChurnForest cf(n, d, policy);
@@ -78,28 +156,46 @@ void report(util::Table& table, const char* workload, const char* policy,
        r.valid ? "ok" : "VIOLATED"});
 }
 
+void report_adaptive(util::Table& table, const char* workload, sim::NodeKey n,
+                     int d, const AdaptiveResult& r) {
+  table.add_row(
+      {workload, "adaptive", util::cell(n), util::cell(d), util::cell(r.ops),
+       util::cell(r.reseats), "-", util::cell(r.rebalance_moves),
+       util::cell(static_cast<double>(r.reseats + r.rebalance_moves) /
+                      static_cast<double>(r.ops),
+                  2),
+       r.valid ? "ok" : "VIOLATED"});
+}
+
 }  // namespace
 
 int main() {
   bench::banner("Appendix churn (omitted simulation)",
                 "eager vs lazy maintenance cost under three workloads");
 
-  util::Table table({"workload", "policy", "N0", "d", "ops", "relabels",
-                     "rebuilds", "rebuild moves", "moves/op", "invariants"});
+  util::Table table({"workload", "policy", "N0", "d", "ops",
+                     "relabels/reseats", "rebuilds", "rebuild moves",
+                     "moves/op", "invariants"});
   for (const int d : {2, 3}) {
     for (const sim::NodeKey n : {50, 200, 1000}) {
       report(table, "alternating@boundary", "eager", n, d,
              alternating(ChurnPolicy::kEager, n, d, 100));
       report(table, "alternating@boundary", "lazy", n, d,
              alternating(ChurnPolicy::kLazy, n, d, 100));
+      report_adaptive(table, "alternating@boundary", n, d,
+                      run_adaptive(n, d, 7, 100, 0, 0, true));
       report(table, "random 50/50", "eager", n, d,
              random_mix(ChurnPolicy::kEager, n, d, 400, 7));
       report(table, "random 50/50", "lazy", n, d,
              random_mix(ChurnPolicy::kLazy, n, d, 400, 7));
+      report_adaptive(table, "random 50/50", n, d,
+                      run_adaptive(n, d, 7, 400, 0.5, 0.5, false));
       report(table, "flash crowd", "eager", n, d,
              flash_crowd(ChurnPolicy::kEager, n, d, 400, 11));
       report(table, "flash crowd", "lazy", n, d,
              flash_crowd(ChurnPolicy::kLazy, n, d, 400, 11));
+      report_adaptive(table, "flash crowd", n, d,
+                      run_adaptive(n, d, 11, 400, 0.85, 0.15, false));
     }
   }
   table.print(std::cout);
@@ -114,6 +210,10 @@ int main() {
          "re-derivations of the greedy placement (DESIGN.md §5 documents why "
          "the paper's literal swap rule cannot preserve the congruence "
          "property), so their measured cost exceeds the paper's d^2 "
-         "accounting while keeping every invariant machine-checked.\n";
+         "accounting while keeping every invariant machine-checked. The "
+         "adaptive forest sidesteps the boundary problem entirely — no "
+         "congruence property, no relabeling — so its per-op cost is flat "
+         "across all three workloads, at the price of a weaker (structural "
+         "rather than closed-form) delay bound; see DESIGN.md §12.\n";
   return 0;
 }

@@ -2,10 +2,17 @@
 // exponential session lifetimes (the P2P measurement-study standard),
 // streamed live through the dynamic protocol. Replicated over 5 seeds per
 // cell; reports mean +- sd of maintenance moves and playback hiccups.
+//
+// Three competitors per cell: the structural-id multi-tree under eager and
+// lazy maintenance, and the Zhu-Hajek dynamic forest (scheme #8,
+// "adaptive"), whose local join/leave/swap rules never relabel — churn
+// costs re-parent moves and promote swaps instead of relabels/rebuilds.
 #include <cmath>
 #include <iostream>
 
 #include "bench/bench_util.hpp"
+#include "src/dyntree/protocol.hpp"
+#include "src/dyntree/qos.hpp"
 #include "src/metrics/summary.hpp"
 #include "src/multitree/analysis.hpp"
 #include "src/multitree/churn.hpp"
@@ -84,6 +91,63 @@ Outcome run_trace(const workload::TraceConfig& cfg, int d,
   return o;
 }
 
+/// Same trace, streamed through the dynamic-trees scheme. Maintenance cost
+/// = reattaches + promote swaps + rebalance moves (the forest never
+/// relabels); hiccups from the same PlaybackBuffer accounting, seated at
+/// the live edge. The engine gets capacity for every key the run will ever
+/// grant (keys are permanent and never reused).
+Outcome run_trace_dyntree(const workload::TraceConfig& cfg, int d) {
+  const auto trace = workload::generate_churn_trace(cfg);
+  NodeKey capacity = cfg.initial_n;
+  for (const auto& e : trace) capacity += e.arrival ? 1 : 0;
+  capacity = std::max<NodeKey>(capacity + 1, 8);
+
+  dyntree::DynamicTreesProtocol proto(
+      dyntree::DynamicForest(d, cfg.seed * 31 + 7));
+  net::UniformCluster topo(capacity, d, 1, d);
+  sim::Engine engine(topo, proto);
+  const sim::Slot margin = worst_delay_bound(capacity, d) + 2 * d;
+  dyntree::PeerQosTracker tracker(proto, margin);
+  engine.add_observer(tracker);
+
+  std::map<std::int64_t, NodeKey> live;
+  for (NodeKey i = 0; i < cfg.initial_n; ++i) {
+    const NodeKey key = proto.join();
+    live[i] = key;
+    tracker.peer_seated(key, 0);
+  }
+  proto.forest().rebalance();
+  for (const auto& e : trace) {
+    engine.run_until(e.slot);
+    if (e.arrival) {
+      const NodeKey key = proto.join();
+      live[e.peer] = key;
+      tracker.peer_seated(key, e.slot);
+    } else {
+      const auto it = live.find(e.peer);
+      if (it == live.end()) continue;
+      if (proto.forest().peers() <= 2) continue;  // keep the overlay alive
+      tracker.peer_left(it->second, e.slot);
+      proto.leave(it->second);
+      live.erase(it);
+    }
+    proto.forest().rebalance();
+  }
+  const sim::Slot end = cfg.horizon + margin + 100;
+  engine.run_until(end);
+  tracker.finish(end);
+
+  Outcome o;
+  const auto& stats = proto.forest().stats();
+  o.moves = static_cast<double>(stats.reattach_moves + stats.promote_swaps +
+                                stats.balance_moves);
+  o.hiccups = static_cast<double>(tracker.total_hiccups());
+  const double played = static_cast<double>(tracker.total_played());
+  o.loss_rate = o.hiccups / std::max(1.0, played + o.hiccups);
+  o.final_n = proto.forest().peers();
+  return o;
+}
+
 std::string mean_sd(const std::vector<double>& v) {
   double mean = 0;
   for (const double x : v) mean += x;
@@ -105,7 +169,8 @@ int main() {
                      "hiccups", "loss rate (mean)"});
   for (const int d : {2, 3}) {
     for (const double lifetime : {200.0, 800.0}) {
-      for (const auto policy : {ChurnPolicy::kEager, ChurnPolicy::kLazy}) {
+      // -1 = the dynamic-trees forest; 0/1 = eager/lazy structural-id trees.
+      for (const int competitor : {0, 1, -1}) {
         std::vector<double> moves;
         std::vector<double> hiccups;
         double loss = 0;
@@ -115,13 +180,19 @@ int main() {
                                           .horizon = 1500,
                                           .initial_n = 60,
                                           .seed = seed * 17};
-          const Outcome o = run_trace(cfg, d, policy);
+          const Outcome o =
+              competitor < 0
+                  ? run_trace_dyntree(cfg, d)
+                  : run_trace(cfg, d,
+                              competitor == 0 ? ChurnPolicy::kEager
+                                              : ChurnPolicy::kLazy);
           moves.push_back(o.moves);
           hiccups.push_back(o.hiccups);
           loss += o.loss_rate;
         }
         table.add_row({"60", util::cell(d), util::cell(lifetime, 0),
-                       policy == ChurnPolicy::kEager ? "eager" : "lazy",
+                       competitor < 0 ? "adaptive"
+                                      : (competitor == 0 ? "eager" : "lazy"),
                        mean_sd(moves), mean_sd(hiccups),
                        util::cell(loss / 5.0, 4)});
       }
@@ -138,6 +209,17 @@ int main() {
          "maintenance cost tracks swarm size times event rate. Loss stays "
          "in the low percents at this aggressive event rate (one event "
          "every ~13 slots): the swap-based maintenance the paper sketches "
-         "is viable for live streaming.\n";
+         "is viable for live streaming. The adaptive row is the Zhu-Hajek "
+         "dynamic forest (scheme #8): never relabeling means each event "
+         "touches only the seats it orphans or swaps, so it posts the "
+         "fewest maintenance moves of the three. The continuity cost is "
+         "real, though: a re-parented peer re-enters each substream at the "
+         "live edge with no backfill (DESIGN.md §12), so every upward move "
+         "permanently skips the displacement window for the whole moved "
+         "subtree — playback loss lands an order of magnitude above the "
+         "relabeling trees and grows with session lifetime (larger swarms, "
+         "deeper subtrees, wider windows). The relabeling trees resync "
+         "through the session protocol; matching them would take a "
+         "repair/backfill channel on top of the live-edge rule.\n";
   return 0;
 }

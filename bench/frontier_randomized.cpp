@@ -1,0 +1,119 @@
+// Deterministic vs randomized vs dynamic overlays on the paper's axes:
+// the 2009 constructions buy their delay/buffer guarantees with global
+// coordination (exact trees, exact schedules); the follow-up literature
+// (Kim-Srikant 1308.6807 random regular digraphs, Zhu-Hajek 1308.1971
+// dynamic trees) gets within a constant of the same frontier with local or
+// randomized rules. This figure puts all three families on one table —
+// measured worst/average delay and buffer per (N, d), randomized schemes
+// replicated over 3 construction seeds (min-max spread shown) — plus each
+// scheme's registered audit envelope, so the cost of decentralization is
+// read directly against the deterministic optimum and against its own
+// provisioned bound.
+//
+// All cells run as one sweep on the deterministic parallel runner; output
+// is byte-identical at any thread count.
+#include <algorithm>
+#include <cstdint>
+#include <iostream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "src/core/session.hpp"
+#include "src/run/sweep.hpp"
+#include "src/scheme/registry.hpp"
+#include "src/util/table.hpp"
+
+namespace {
+
+using namespace streamcast;
+using core::Scheme;
+using core::SessionConfig;
+
+constexpr std::uint64_t kSeeds[] = {1, 2, 3};
+
+struct Family {
+  Scheme scheme;
+  const char* kind;
+  bool seeded;  // replicate over kSeeds and report the spread
+};
+
+std::string spread(const std::vector<sim::Slot>& v) {
+  const auto [lo, hi] = std::minmax_element(v.begin(), v.end());
+  if (*lo == *hi) return util::cell(*lo);
+  return util::cell(*lo) + ".." + util::cell(*hi);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "Randomized/dynamic overlays vs the deterministic constructions",
+      "worst & avg delay, buffer, and audit envelope per (N, d); seeded "
+      "schemes over 3 construction seeds (min..max)");
+
+  const Family families[] = {
+      {Scheme::kMultiTreeStructured, "deterministic", false},
+      {Scheme::kMultiTreeGreedy, "deterministic", false},
+      {Scheme::kRandomRegular, "randomized", true},
+      {Scheme::kDynamicTrees, "dynamic", true},
+  };
+
+  std::vector<SessionConfig> tasks;
+  for (const sim::NodeKey n : {64, 128, 256}) {
+    for (const int d : {2, 3}) {
+      for (const Family& f : families) {
+        for (const std::uint64_t seed : kSeeds) {
+          SessionConfig cfg{.scheme = f.scheme, .n = n, .d = d};
+          cfg.seed = seed;
+          tasks.push_back(cfg);
+          if (!f.seeded) break;  // one cell; the overlay ignores the seed
+        }
+      }
+    }
+  }
+  const auto results = run::run_sweep(tasks);
+  run::require_all(results);
+
+  util::Table table({"N", "d", "scheme", "kind", "worst delay", "avg delay",
+                     "max buffer", "envelope"});
+  std::size_t next = 0;
+  for (const sim::NodeKey n : {64, 128, 256}) {
+    for (const int d : {2, 3}) {
+      for (const Family& f : families) {
+        std::vector<sim::Slot> delays;
+        std::vector<sim::Slot> buffers;
+        double avg = 0;
+        const std::size_t reps = f.seeded ? std::size(kSeeds) : 1;
+        for (std::size_t s = 0; s < reps; ++s, ++next) {
+          delays.push_back(results[next].qos.worst_delay);
+          buffers.push_back(
+              static_cast<sim::Slot>(results[next].qos.max_buffer));
+          avg += results[next].qos.average_delay;
+        }
+        const SessionConfig probe{.scheme = f.scheme, .n = n, .d = d};
+        const sim::Slot env = scheme::descriptor(f.scheme)
+                                  .envelope(probe)
+                                  .delay;
+        table.add_row({util::cell(n), util::cell(d),
+                       core::scheme_name(f.scheme), f.kind, spread(delays),
+                       util::cell(avg / static_cast<double>(reps), 1),
+                       spread(buffers), util::cell(env)});
+      }
+    }
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nReading: the randomized digraph tracks ~log2(N) worst delay — "
+         "within a small constant of the deterministic multi-tree optimum — "
+         "with no construction coordination at all, paying one extra unit "
+         "of upload provisioning (the rate-1 boundary, DESIGN.md §12). The "
+         "dynamic forest lands on the same frontier as the static trees it "
+         "approximates while being built entirely from local join rules, "
+         "and its seed spread stays within a couple of slots: the "
+         "logarithmic frontier of the 2009 constructions survives "
+         "decentralization, which is the follow-up literature's point.\n";
+  return 0;
+}

@@ -25,6 +25,8 @@ enum class Scheme {
   kHypercubeGrouped,     // §3.2 final paragraph (d groups)
   kChain,                // §1 strawman
   kSingleTree,           // §1 strawman with d-times receiver upload
+  kRandomRegular,        // Kim–Srikant random regular digraph (1308.6807)
+  kDynamicTrees,         // Zhu–Hajek distributed tree dynamics (1308.1971)
 };
 
 /// Canonical scheme name (the SchemeRegistry descriptor's name field).
@@ -86,6 +88,10 @@ struct SessionConfig {
   multitree::StreamMode mode = multitree::StreamMode::kPreRecorded;
   /// Packets measured. 0 = pick automatically (enough for steady state).
   PacketId window = 0;
+  /// Overlay-construction seed for the randomized schemes (kRandomRegular's
+  /// permutation digraph, kDynamicTrees' join tie-breaks). Deterministic
+  /// schemes ignore it; two runs with equal seeds are byte-identical.
+  std::uint64_t seed = 0x5eed;
 
   // --- cross-cluster composition (§2.1) ------------------------------------
   /// 1 = single-cluster streaming straight from S. > 1 = the super-tree τ

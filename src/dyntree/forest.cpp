@@ -1,0 +1,324 @@
+#include "src/dyntree/forest.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace streamcast::dyntree {
+
+DynamicForest::DynamicForest(int d, std::uint64_t seed)
+    : d_(d), prng_(seed) {
+  if (d < 1) throw std::invalid_argument("dynamic-trees needs d >= 1");
+  nodes_.push_back(Node{true, -1, {}});  // the source
+  kids_.resize(static_cast<std::size_t>(d));
+  for (auto& tree : kids_) tree.emplace_back();  // source's child lists
+}
+
+bool DynamicForest::live(NodeKey key) const {
+  return key >= 0 && key < key_end() &&
+         nodes_[static_cast<std::size_t>(key)].live;
+}
+
+int DynamicForest::internal_tree(NodeKey key) const {
+  return nodes_[static_cast<std::size_t>(key)].internal_tree;
+}
+
+NodeKey DynamicForest::parent(int tree, NodeKey key) const {
+  const auto& p = nodes_[static_cast<std::size_t>(key)].parent;
+  return p.empty() ? sim::kNoNode : p[static_cast<std::size_t>(tree)];
+}
+
+const std::vector<NodeKey>& DynamicForest::children(int tree,
+                                                    NodeKey key) const {
+  return kids_[static_cast<std::size_t>(tree)][static_cast<std::size_t>(key)];
+}
+
+int DynamicForest::depth(int tree, NodeKey key) const {
+  // Mid-leave(), a not-yet-reattached orphan's chain ends at kNoNode
+  // instead of the source; treat the detach point as the root then.
+  int hops = 0;
+  for (NodeKey at = key; at != 0 && at != sim::kNoNode;
+       at = parent(tree, at)) {
+    ++hops;
+  }
+  return hops;
+}
+
+int DynamicForest::height(int tree) const {
+  int h = 0;
+  for (NodeKey key = 1; key < key_end(); ++key) {
+    if (live(key)) h = std::max(h, depth(tree, key));
+  }
+  return h;
+}
+
+int DynamicForest::seat_capacity(int tree, NodeKey key) const {
+  if (key == 0) return d_;
+  const auto& node = nodes_[static_cast<std::size_t>(key)];
+  return node.live && node.internal_tree == tree ? d_ : 0;
+}
+
+int DynamicForest::spare_seats(int tree) const {
+  int spares = 0;
+  for (NodeKey key = 0; key < key_end(); ++key) {
+    spares += std::max(
+        0, seat_capacity(tree, key) -
+               static_cast<int>(children(tree, key).size()));
+  }
+  return spares;
+}
+
+int DynamicForest::emergency_children() const {
+  int over = 0;
+  for (int k = 0; k < d_; ++k) {
+    over += std::max(0, static_cast<int>(children(k, 0).size()) - d_);
+  }
+  return over;
+}
+
+bool DynamicForest::in_subtree(int tree, NodeKey key, NodeKey root) const {
+  if (root == sim::kNoNode) return false;
+  for (NodeKey at = key; at != sim::kNoNode; at = parent(tree, at)) {
+    if (at == root) return true;
+    if (at == 0) break;
+  }
+  return false;
+}
+
+NodeKey DynamicForest::shallowest_leaf(int tree, NodeKey exclude) {
+  int best_depth = std::numeric_limits<int>::max();
+  std::vector<NodeKey> best;
+  for (NodeKey key = 1; key < key_end(); ++key) {
+    if (!live(key) || internal_tree(key) == tree) continue;
+    if (parent(tree, key) == sim::kNoNode) continue;
+    if (in_subtree(tree, key, exclude)) continue;
+    const int dep = depth(tree, key);
+    if (dep < best_depth) {
+      best_depth = dep;
+      best.clear();
+    }
+    if (dep == best_depth) best.push_back(key);
+  }
+  if (best.empty()) return sim::kNoNode;
+  return best[static_cast<std::size_t>(prng_.below(best.size()))];
+}
+
+NodeKey DynamicForest::find_seat(int tree, NodeKey exclude) {
+  int best_depth = std::numeric_limits<int>::max();
+  std::vector<NodeKey> best;
+  for (NodeKey key = 0; key < key_end(); ++key) {
+    if (seat_capacity(tree, key) <=
+        static_cast<int>(children(tree, key).size())) {
+      continue;
+    }
+    if (in_subtree(tree, key, exclude)) continue;
+    const int dep = depth(tree, key);
+    if (dep < best_depth) {
+      best_depth = dep;
+      best.clear();
+    }
+    if (dep == best_depth) best.push_back(key);
+  }
+  if (best.empty()) return sim::kNoNode;
+  return best[static_cast<std::size_t>(prng_.below(best.size()))];
+}
+
+void DynamicForest::attach(int tree, NodeKey key, NodeKey under) {
+  kids_[static_cast<std::size_t>(tree)][static_cast<std::size_t>(under)]
+      .push_back(key);
+  nodes_[static_cast<std::size_t>(key)]
+      .parent[static_cast<std::size_t>(tree)] = under;
+}
+
+void DynamicForest::detach(int tree, NodeKey key) {
+  auto& node = nodes_[static_cast<std::size_t>(key)];
+  const NodeKey from = node.parent[static_cast<std::size_t>(tree)];
+  if (from == sim::kNoNode) return;
+  auto& siblings =
+      kids_[static_cast<std::size_t>(tree)][static_cast<std::size_t>(from)];
+  siblings.erase(std::find(siblings.begin(), siblings.end(), key));
+  node.parent[static_cast<std::size_t>(tree)] = sim::kNoNode;
+}
+
+NodeKey DynamicForest::join() {
+  const NodeKey key = key_end();
+  // Internal where the forest is tightest: fewest spare seats, seeded
+  // tie-break. The joiner's own d seats then open in that tree.
+  int best_spares = std::numeric_limits<int>::max();
+  std::vector<int> tied;
+  for (int k = 0; k < d_; ++k) {
+    const int s = spare_seats(k);
+    if (s < best_spares) {
+      best_spares = s;
+      tied.clear();
+    }
+    if (s == best_spares) tied.push_back(k);
+  }
+  const int internal =
+      tied[static_cast<std::size_t>(prng_.below(tied.size()))];
+
+  nodes_.push_back(Node{
+      true, internal,
+      std::vector<NodeKey>(static_cast<std::size_t>(d_), sim::kNoNode)});
+  for (auto& tree : kids_) tree.emplace_back();
+  for (int k = 0; k < d_; ++k) {
+    // The joiner's fresh seats are visible here, but it cannot parent
+    // itself, so a tree whose only spare seats are the joiner's own falls
+    // through to the emergency path.
+    NodeKey seat = find_seat(k, key);
+    if (k == internal) {
+      // Swap rule: an internal belongs above the leaves. If a leaf of this
+      // tree sits strictly shallower than the best spare seat, take its
+      // position and re-seat the leaf (usually right under the joiner,
+      // whose d seats just opened). Skipping this grows the interior as a
+      // chain hanging off the previous internal — see ForestStats.
+      const NodeKey leaf = shallowest_leaf(k, key);
+      const int seat_depth = seat == sim::kNoNode
+                                 ? std::numeric_limits<int>::max()
+                                 : depth(k, seat) + 1;
+      if (leaf != sim::kNoNode && depth(k, leaf) < seat_depth) {
+        const NodeKey under = parent(k, leaf);
+        detach(k, leaf);
+        attach(k, key, under);
+        NodeKey reseat = find_seat(k, sim::kNoNode);
+        if (reseat == sim::kNoNode) {
+          reseat = 0;
+          ++stats_.emergency_attaches;
+        }
+        attach(k, leaf, reseat);
+        ++stats_.promote_swaps;
+        continue;
+      }
+    }
+    if (seat == sim::kNoNode) {
+      seat = 0;
+      ++stats_.emergency_attaches;
+    }
+    attach(k, key, seat);
+  }
+  ++live_count_;
+  ++stats_.joins;
+  return key;
+}
+
+void DynamicForest::leave(NodeKey key) {
+  if (!live(key) || key == 0) {
+    throw std::invalid_argument("leave of unknown or dead peer");
+  }
+  auto& node = nodes_[static_cast<std::size_t>(key)];
+  node.live = false;  // before re-seating: the departed peer owns no seats
+  for (int k = 0; k < d_; ++k) {
+    detach(k, key);
+    auto orphans = children(k, key);  // copy: attach() mutates kids_
+    kids_[static_cast<std::size_t>(k)][static_cast<std::size_t>(key)]
+        .clear();
+    for (const NodeKey orphan : orphans) {
+      nodes_[static_cast<std::size_t>(orphan)]
+          .parent[static_cast<std::size_t>(k)] = sim::kNoNode;
+      NodeKey seat = find_seat(k, orphan);
+      if (seat == sim::kNoNode) {
+        seat = 0;
+        ++stats_.emergency_attaches;
+      }
+      attach(k, orphan, seat);
+      ++stats_.reattach_moves;
+    }
+  }
+  --live_count_;
+  ++stats_.leaves;
+}
+
+int DynamicForest::rebalance() {
+  int moves = 0;
+  // Pass 1: shed emergency source children onto real seats.
+  for (int k = 0; k < d_; ++k) {
+    while (static_cast<int>(children(k, 0).size()) > d_) {
+      const NodeKey child = children(k, 0).back();
+      detach(k, child);
+      const NodeKey seat = find_seat(k, child);
+      if (seat == sim::kNoNode) {
+        attach(k, child, 0);  // still nowhere to go; keep it parked
+        break;
+      }
+      attach(k, child, seat);
+      ++moves;
+    }
+  }
+  // Pass 2: restore internal-above-leaf order disturbed by churn — swap a
+  // deep internal (its whole subtree rides along) with a strictly
+  // shallower leaf. Each swap decreases the interior's depth sum, so the
+  // loop terminates.
+  for (int k = 0; k < d_; ++k) {
+    bool swapped = true;
+    while (swapped) {
+      swapped = false;
+      for (NodeKey u = 1; u < key_end(); ++u) {
+        if (!live(u) || internal_tree(u) != k) continue;
+        if (parent(k, u) == sim::kNoNode) continue;
+        const int du = depth(k, u);
+        if (du <= 1) continue;
+        const NodeKey v = shallowest_leaf(k, u);
+        if (v == sim::kNoNode || depth(k, v) >= du) continue;
+        const NodeKey pu = parent(k, u);
+        const NodeKey pv = parent(k, v);
+        detach(k, u);
+        detach(k, v);
+        attach(k, u, pv);
+        attach(k, v, pu);
+        ++stats_.promote_swaps;
+        ++moves;
+        swapped = true;
+      }
+    }
+  }
+  // Pass 3: pull subtrees up while a strictly shallower seat exists. Each
+  // move decreases the total depth sum, so the loop terminates.
+  for (int k = 0; k < d_; ++k) {
+    bool moved = true;
+    while (moved) {
+      moved = false;
+      for (NodeKey key = 1; key < key_end(); ++key) {
+        if (!live(key)) continue;
+        const int dep = depth(k, key);
+        if (dep <= 1) continue;
+        const NodeKey seat = find_seat(k, key);
+        if (seat == sim::kNoNode || depth(k, seat) + 1 >= dep) continue;
+        detach(k, key);
+        attach(k, key, seat);
+        ++moves;
+        moved = true;
+      }
+    }
+  }
+  stats_.balance_moves += moves;
+  return moves;
+}
+
+Slot schedule_bound(const DynamicForest& forest) {
+  Slot worst = 0;
+  const int d = forest.d();
+  for (int k = 0; k < d; ++k) {
+    // lag(node) = worst (delivery slot - packet id) along the tree-k path.
+    // Source children: round-robin wait up to d plus their serve rank;
+    // every relay hop adds 1 + rank among the parent's children.
+    std::vector<std::pair<NodeKey, Slot>> frontier;
+    const auto& roots = forest.children(k, 0);
+    for (std::size_t i = 0; i < roots.size(); ++i) {
+      frontier.emplace_back(roots[i],
+                            static_cast<Slot>(d) + 1 + static_cast<Slot>(i));
+    }
+    while (!frontier.empty()) {
+      const auto [node, lag] = frontier.back();
+      frontier.pop_back();
+      worst = std::max(worst, lag);
+      if (forest.internal_tree(node) != k) continue;
+      const auto& kids = forest.children(k, node);
+      for (std::size_t i = 0; i < kids.size(); ++i) {
+        frontier.emplace_back(kids[i], lag + 1 + static_cast<Slot>(i));
+      }
+    }
+  }
+  return worst;
+}
+
+}  // namespace streamcast::dyntree

@@ -1,0 +1,109 @@
+#include "src/dyntree/protocol.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace streamcast::dyntree {
+
+DynamicTreesProtocol::DynamicTreesProtocol(DynamicForest forest)
+    : forest_(std::move(forest)),
+      source_queue_(static_cast<std::size_t>(forest_.d())) {
+  grow_to(forest_.key_end());
+}
+
+void DynamicTreesProtocol::grow_to(NodeKey key_end) {
+  const auto span = static_cast<std::size_t>(key_end);
+  if (holds_.size() < span) {
+    holds_.resize(span);
+    node_queue_.resize(span);
+    recv_used_.resize(span, 0);
+  }
+}
+
+NodeKey DynamicTreesProtocol::join() {
+  const NodeKey key = forest_.join();
+  grow_to(forest_.key_end());
+  return key;
+}
+
+void DynamicTreesProtocol::leave(NodeKey key) {
+  forest_.leave(key);
+  node_queue_[static_cast<std::size_t>(key)].clear();
+}
+
+bool DynamicTreesProtocol::still_wanted(int tree, NodeKey from,
+                                        const Pending& p) const {
+  return forest_.live(p.to) && forest_.parent(tree, p.to) == from &&
+         !holds_[static_cast<std::size_t>(p.to)].has(p.packet);
+}
+
+void DynamicTreesProtocol::transmit(Slot t, std::vector<Tx>& out) {
+  const int d = forest_.d();
+  std::fill(recv_used_.begin(), recv_used_.end(), 0);
+
+  // Release packet t and queue it for tree (t mod d)'s source children.
+  while (released_ <= t) {
+    const auto k = static_cast<int>(released_ % d);
+    for (const NodeKey c : forest_.children(k, 0)) {
+      source_queue_[static_cast<std::size_t>(k)].push_back({c, released_});
+    }
+    ++released_;
+  }
+
+  // Emits the first still-wanted entry whose target has download capacity
+  // left this slot; entries whose target is saturated stay queued in order
+  // (per-(to, tag) sequence stays increasing), dead entries are dropped.
+  const auto pump = [&](std::deque<Pending>& queue, int tree,
+                        NodeKey from) -> bool {
+    for (auto it = queue.begin(); it != queue.end();) {
+      if (!still_wanted(tree, from, *it)) {
+        it = queue.erase(it);
+        continue;
+      }
+      if (recv_used_[static_cast<std::size_t>(it->to)] >= d) {
+        ++it;
+        continue;
+      }
+      out.push_back(Tx{from, it->to, it->packet, tree, false});
+      ++recv_used_[static_cast<std::size_t>(it->to)];
+      queue.erase(it);
+      return true;
+    }
+    return false;
+  };
+
+  // Source: capacity d, round-robin over the tree queues starting at the
+  // tree whose substream was just released.
+  int budget = d;
+  bool progress = true;
+  while (budget > 0 && progress) {
+    progress = false;
+    for (int i = 0; i < d && budget > 0; ++i) {
+      const auto k = static_cast<int>((t + i) % d);
+      if (pump(source_queue_[static_cast<std::size_t>(k)], k, 0)) {
+        --budget;
+        progress = true;
+      }
+    }
+  }
+
+  // Peers: unit upload each, spent in their internal tree.
+  for (NodeKey key = 1; key < forest_.key_end(); ++key) {
+    if (!forest_.live(key)) continue;
+    pump(node_queue_[static_cast<std::size_t>(key)],
+         forest_.internal_tree(key), key);
+  }
+}
+
+void DynamicTreesProtocol::deliver(Slot /*t*/, const Tx& tx) {
+  holds_[static_cast<std::size_t>(tx.to)].mark(tx.packet);
+  if (!forest_.live(tx.to) ||
+      forest_.internal_tree(tx.to) != static_cast<int>(tx.tag)) {
+    return;
+  }
+  for (const NodeKey c : forest_.children(static_cast<int>(tx.tag), tx.to)) {
+    node_queue_[static_cast<std::size_t>(tx.to)].push_back({c, tx.packet});
+  }
+}
+
+}  // namespace streamcast::dyntree

@@ -1,0 +1,42 @@
+#include "src/dyntree/qos.hpp"
+
+namespace streamcast::dyntree {
+
+PeerQosTracker::PeerQosTracker(const DynamicTreesProtocol& protocol,
+                               Slot startup_margin)
+    : protocol_(protocol), margin_(startup_margin) {}
+
+void PeerQosTracker::peer_seated(NodeKey key, Slot t) {
+  buffers_.emplace(key,
+                   net::PlaybackBuffer(t + margin_, protocol_.live_edge(t)));
+  ++tracked_;
+}
+
+void PeerQosTracker::on_delivery(const sim::Delivery& d) {
+  const auto it = buffers_.find(d.tx.to);
+  if (it == buffers_.end()) return;
+  it->second.advance_to(d.received - 1);
+  it->second.on_receive(d.received, d.tx.packet);
+}
+
+void PeerQosTracker::retire(net::PlaybackBuffer& buffer, Slot t) {
+  buffer.advance_to(t);
+  hiccups_ += buffer.hiccups();
+  played_ += buffer.played();
+  late_ += buffer.late_or_duplicate();
+  if (buffer.hiccups() > 0) ++peers_with_hiccups_;
+}
+
+void PeerQosTracker::peer_left(NodeKey key, Slot t) {
+  const auto it = buffers_.find(key);
+  if (it == buffers_.end()) return;
+  retire(it->second, t);
+  buffers_.erase(it);
+}
+
+void PeerQosTracker::finish(Slot t) {
+  for (auto& [key, buffer] : buffers_) retire(buffer, t);
+  buffers_.clear();
+}
+
+}  // namespace streamcast::dyntree

@@ -1,0 +1,58 @@
+// Per-peer playback accounting for the dynamic forest, the dyntree
+// counterpart of multitree::PeerQosTracker: one net::PlaybackBuffer per
+// permanent key, started `startup_margin` slots after the peer is seated at
+// the live edge of its seating moment. Every packet missing in its due slot
+// is one hiccup — which is exactly where the protocol's deliberate
+// no-backfill policy (see protocol.hpp) surfaces as measured QoS: a peer
+// whose subtree was re-parented by churn pays a bounded burst of hiccups
+// and then resumes on schedule.
+//
+// Unlike the multitree tracker there is no structural-id indirection —
+// dyntree keys are permanent and never reused — so deliveries map to
+// buffers directly by key.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "src/dyntree/protocol.hpp"
+#include "src/net/buffer.hpp"
+#include "src/sim/engine.hpp"
+
+namespace streamcast::dyntree {
+
+class PeerQosTracker final : public sim::DeliveryObserver {
+ public:
+  /// Playback for a peer seated at slot t starts at t + startup_margin with
+  /// packet protocol.live_edge(t).
+  PeerQosTracker(const DynamicTreesProtocol& protocol, Slot startup_margin);
+
+  void on_delivery(const sim::Delivery& d) override;
+
+  /// Registers a peer seated at slot t (call right after join()).
+  void peer_seated(NodeKey key, Slot t);
+  /// Finalizes a departing peer's stats (call right before leave()).
+  void peer_left(NodeKey key, Slot t);
+  /// Finalizes all remaining peers at the end of the run.
+  void finish(Slot t);
+
+  std::int64_t total_hiccups() const { return hiccups_; }
+  std::int64_t total_played() const { return played_; }
+  std::int64_t late_or_duplicate() const { return late_; }
+  std::size_t peers_tracked() const { return tracked_; }
+  std::size_t peers_with_hiccups() const { return peers_with_hiccups_; }
+
+ private:
+  void retire(net::PlaybackBuffer& buffer, Slot t);
+
+  const DynamicTreesProtocol& protocol_;
+  Slot margin_;
+  std::map<NodeKey, net::PlaybackBuffer> buffers_;
+  std::int64_t hiccups_ = 0;
+  std::int64_t played_ = 0;
+  std::int64_t late_ = 0;
+  std::size_t tracked_ = 0;
+  std::size_t peers_with_hiccups_ = 0;
+};
+
+}  // namespace streamcast::dyntree

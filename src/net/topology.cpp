@@ -6,11 +6,20 @@
 namespace streamcast::net {
 
 UniformCluster::UniformCluster(NodeKey n_receivers, int source_capacity,
-                               Slot t_i)
-    : n_receivers_(n_receivers), source_capacity_(source_capacity), t_i_(t_i) {
+                               Slot t_i, int recv_capacity,
+                               int peer_send_capacity)
+    : n_receivers_(n_receivers),
+      source_capacity_(source_capacity),
+      t_i_(t_i),
+      recv_capacity_(recv_capacity),
+      peer_send_capacity_(peer_send_capacity) {
   if (n_receivers < 0) throw std::invalid_argument("negative receiver count");
   if (source_capacity < 1) throw std::invalid_argument("source capacity < 1");
   if (t_i < 1) throw std::invalid_argument("latency < 1");
+  if (recv_capacity < 1) throw std::invalid_argument("recv capacity < 1");
+  if (peer_send_capacity < 1) {
+    throw std::invalid_argument("peer send capacity < 1");
+  }
 }
 
 Slot UniformCluster::latency(NodeKey from, NodeKey to) const {
@@ -22,13 +31,13 @@ Slot UniformCluster::latency(NodeKey from, NodeKey to) const {
 }
 
 int UniformCluster::send_capacity(NodeKey n) const {
-  return n == 0 ? source_capacity_ : 1;
+  return n == 0 ? source_capacity_ : peer_send_capacity_;
 }
 
 int UniformCluster::recv_capacity(NodeKey n) const {
   // The source never receives; giving it capacity 0 turns any protocol bug
   // that routes data back to S into a hard engine error.
-  return n == 0 ? 0 : 1;
+  return n == 0 ? 0 : recv_capacity_;
 }
 
 ClusteredTopology::ClusteredTopology(std::vector<ClusterSpec> clusters,

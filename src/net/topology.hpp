@@ -33,11 +33,18 @@ class Topology {
 };
 
 /// Single cluster: key 0 is the source S (capacity `source_capacity`, the
-/// paper's d), keys 1..n are homogeneous receivers with capacity 1/1, all
-/// pairwise latencies are T_i (default 1).
+/// paper's d), keys 1..n are homogeneous receivers with capacity
+/// `peer_send_capacity` up / `recv_capacity` down (both default 1, the
+/// paper's model), all pairwise latencies are T_i (default 1). The relaxed
+/// capacities model the randomized-overlay regime (Kim–Srikant: in-degree d,
+/// upload a constant factor above the stream rate — their theorems provision
+/// rate (1-eps) against unit capacity; at the rate-1 boundary a swarm has
+/// zero slack for an unlucky sender with nothing useful to offer, so the
+/// random-regular scheme runs receivers at upload 2).
 class UniformCluster final : public Topology {
  public:
-  UniformCluster(NodeKey n_receivers, int source_capacity, Slot t_i = 1);
+  UniformCluster(NodeKey n_receivers, int source_capacity, Slot t_i = 1,
+                 int recv_capacity = 1, int peer_send_capacity = 1);
 
   NodeKey size() const override { return n_receivers_ + 1; }
   Slot latency(NodeKey from, NodeKey to) const override;
@@ -51,6 +58,8 @@ class UniformCluster final : public Topology {
   NodeKey n_receivers_;
   int source_capacity_;
   Slot t_i_;
+  int recv_capacity_;
+  int peer_send_capacity_;
 };
 
 /// Multi-cluster world for the super-tree scheme (§2.1).

@@ -1,0 +1,99 @@
+#include "src/rrd/digraph.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+#include "src/util/prng.hpp"
+
+namespace streamcast::rrd {
+namespace {
+
+/// Fisher–Yates permutation of {1..n}, then fixed points rotated among
+/// themselves so no receiver ends up its own out-neighbor. With one lone
+/// fixed point u, rotation is impossible; u instead swaps images with its
+/// successor (mod n), which by construction is not a fixed point.
+std::vector<NodeKey> derangement(NodeKey n, util::Prng& prng) {
+  std::vector<NodeKey> pi(static_cast<std::size_t>(n));
+  for (NodeKey i = 0; i < n; ++i) pi[static_cast<std::size_t>(i)] = i + 1;
+  for (NodeKey i = n - 1; i > 0; --i) {
+    const auto j = static_cast<std::size_t>(
+        prng.below(static_cast<std::uint64_t>(i) + 1));
+    std::swap(pi[static_cast<std::size_t>(i)], pi[j]);
+  }
+  std::vector<std::size_t> fixed;
+  for (std::size_t i = 0; i < pi.size(); ++i) {
+    if (pi[i] == static_cast<NodeKey>(i) + 1) fixed.push_back(i);
+  }
+  if (fixed.size() == 1 && n > 1) {
+    const std::size_t u = fixed.front();
+    const std::size_t v = (u + 1) % pi.size();
+    std::swap(pi[u], pi[v]);
+  } else if (fixed.size() > 1) {
+    const NodeKey first = pi[fixed.front()];
+    for (std::size_t i = 0; i + 1 < fixed.size(); ++i) {
+      pi[fixed[i]] = pi[fixed[i + 1]];
+    }
+    pi[fixed.back()] = first;
+  }
+  return pi;
+}
+
+}  // namespace
+
+int Digraph::in_degree(NodeKey v) const {
+  int count = 0;
+  for (const auto& targets : out) {
+    count += static_cast<int>(std::count(targets.begin(), targets.end(), v));
+  }
+  return count;
+}
+
+Digraph build_digraph(NodeKey n, int d, std::uint64_t seed) {
+  if (n < 1) throw std::invalid_argument("random-regular needs n >= 1");
+  if (d < 2) {
+    // d = 1 degenerates the permutation union into disjoint cycles, where
+    // the stream crawls around a ring in Theta(N) slots — the O(log N)
+    // envelope (and the paper's whp analysis) needs d >= 2.
+    throw std::invalid_argument("random-regular needs d >= 2");
+  }
+  Digraph g;
+  g.n = n;
+  g.d = d;
+  util::Prng prng(seed);
+  g.out.resize(static_cast<std::size_t>(n));
+  for (auto& targets : g.out) targets.reserve(static_cast<std::size_t>(d));
+  // A lone receiver has no peers to relay to: the source feeds it directly
+  // and the peer edge set stays empty.
+  for (int k = 0; n > 1 && k < d; ++k) {
+    const auto pi = derangement(n, prng);
+    for (NodeKey u = 1; u <= n; ++u) {
+      g.out[static_cast<std::size_t>(u - 1)].push_back(
+          pi[static_cast<std::size_t>(u - 1)]);
+    }
+  }
+  // The source's entry receivers: a seeded partial shuffle picking
+  // min(d, n) distinct keys.
+  std::vector<NodeKey> pool(static_cast<std::size_t>(n));
+  for (NodeKey i = 0; i < n; ++i) pool[static_cast<std::size_t>(i)] = i + 1;
+  const auto picks = static_cast<std::size_t>(std::min<NodeKey>(d, n));
+  for (std::size_t i = 0; i < picks; ++i) {
+    const auto j =
+        i + static_cast<std::size_t>(prng.below(pool.size() - i));
+    std::swap(pool[i], pool[j]);
+    g.source_out.push_back(pool[i]);
+  }
+  return g;
+}
+
+sim::Slot delay_bound(NodeKey n, int d) {
+  const auto log2n = static_cast<sim::Slot>(
+      std::bit_width(static_cast<std::uint64_t>(n)));
+  // Measured worst delays (EXPERIMENTS.md E35: 5 seeds x N up to 512 x
+  // d in {2..5}) sit at ~log2(N) + 1 and shrink slightly with d; doubling
+  // the log term plus a d + 4 margin absorbs unlucky digraph draws without
+  // making the O(log N) claim vacuous.
+  return 2 * log2n + static_cast<sim::Slot>(d) + 4;
+}
+
+}  // namespace streamcast::rrd

@@ -6,6 +6,8 @@
 
 #include "src/baseline/chain.hpp"
 #include "src/baseline/single_tree.hpp"
+#include "src/dyntree/forest.hpp"
+#include "src/dyntree/protocol.hpp"
 #include "src/hypercube/analysis.hpp"
 #include "src/hypercube/protocol.hpp"
 #include "src/loss/model.hpp"
@@ -13,6 +15,8 @@
 #include "src/multitree/greedy.hpp"
 #include "src/multitree/protocol.hpp"
 #include "src/multitree/structured.hpp"
+#include "src/rrd/digraph.hpp"
+#include "src/rrd/protocol.hpp"
 #include "src/supertree/analysis.hpp"
 
 namespace streamcast::scheme {
@@ -141,6 +145,64 @@ Envelope envelope_single_tree(const SessionConfig& config) {
   return {delay, delay};
 }
 
+// --- random regular digraph (related work: 1308.6807) ----------------------
+
+Overlay build_random_regular(const SessionConfig& config) {
+  Overlay o;
+  o.window = config.window;
+  const Slot bound = rrd::delay_bound(config.n, config.d);
+  if (o.window == 0) o.window = 2 * bound + 16;
+  // Kim–Srikant regime: in-degree d (download capacity d), upload a
+  // constant factor above the stream rate — see RandomRegularProtocol on
+  // why rate 1 against upload 1 (their eps = 0 boundary) cannot work.
+  o.topology = std::make_unique<net::UniformCluster>(config.n, config.d, 1,
+                                                     config.d, 2);
+  o.protocol = std::make_unique<rrd::RandomRegularProtocol>(
+      rrd::build_digraph(config.n, config.d, config.seed), 2);
+  o.slack += bound + config.d;
+  return o;
+}
+
+Envelope envelope_random_regular(const SessionConfig& config) {
+  const Slot delay = rrd::delay_bound(config.n, config.d);
+  // Rate-1 playback from the delay bound caps occupancy at delay + 1.
+  return {delay, delay + 1};
+}
+
+// --- dynamic trees (related work: 1308.1971) --------------------------------
+
+dyntree::DynamicForest static_dyntree_forest(const SessionConfig& config) {
+  // The registry's static instance: n joins, then one rebalance sweep —
+  // deterministic in (n, d, seed), so build and envelope reconstruct the
+  // identical forest (same PRNG draw sequence).
+  dyntree::DynamicForest forest(config.d, config.seed);
+  for (core::NodeKey i = 0; i < config.n; ++i) forest.join();
+  forest.rebalance();
+  return forest;
+}
+
+Overlay build_dynamic_trees(const SessionConfig& config) {
+  Overlay o;
+  o.window = config.window;
+  auto forest = static_dyntree_forest(config);
+  const Slot bound = dyntree::schedule_bound(forest) + 2 * config.d;
+  if (o.window == 0) o.window = 2 * bound + 16;
+  o.topology =
+      std::make_unique<net::UniformCluster>(config.n, config.d, 1, config.d);
+  o.protocol =
+      std::make_unique<dyntree::DynamicTreesProtocol>(std::move(forest));
+  o.slack += bound + config.d;
+  return o;
+}
+
+Envelope envelope_dynamic_trees(const SessionConfig& config) {
+  const auto forest = static_dyntree_forest(config);
+  // Structure-derived schedule bound plus the empirical round-robin margin
+  // (DESIGN.md §12); buffers as for random-regular.
+  const Slot delay = dyntree::schedule_bound(forest) + 2 * config.d;
+  return {delay, delay + 1};
+}
+
 // --- the registry ----------------------------------------------------------
 
 constexpr Capabilities kMultiTreeCaps{.live_modes = true,
@@ -186,6 +248,16 @@ const Descriptor kRegistry[] = {
      .caps = {.dense_links = true, .degree_sweep = true},
      .build = build_single_tree,
      .envelope = envelope_single_tree},
+    {.id = Scheme::kRandomRegular,
+     .name = "random-regular",
+     .caps = {.degree_sweep = true},
+     .build = build_random_regular,
+     .envelope = envelope_random_regular},
+    {.id = Scheme::kDynamicTrees,
+     .name = "dynamic-trees",
+     .caps = {.degree_sweep = true, .churn = true},
+     .build = build_dynamic_trees,
+     .envelope = envelope_dynamic_trees},
 };
 
 }  // namespace

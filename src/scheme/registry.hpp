@@ -72,6 +72,10 @@ struct Capabilities {
   /// scale::replay_structured (DESIGN.md §11): the schedule is d-periodic
   /// position arithmetic, so QoS aggregates need no per-slot simulation.
   bool closed_form_replay = false;
+  /// The overlay adapts to membership churn mid-run (join/leave/swap rules
+  /// mutate the structure while the stream keeps flowing); the churn
+  /// benches pick it up as the adaptive competitor.
+  bool churn = false;
 };
 
 /// The §7 audit envelope a scheme claims on reliable links: worst playback

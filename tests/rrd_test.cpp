@@ -1,0 +1,82 @@
+// Random regular digraph construction (src/rrd/digraph.*): regularity,
+// self-loop freedom, seed determinism, and the envelope's shape.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/rrd/digraph.hpp"
+
+namespace streamcast::rrd {
+namespace {
+
+TEST(RrdDigraph, IsDRegularInAndOutWithNoSelfLoops) {
+  for (const NodeKey n : {2, 3, 7, 16, 33, 100}) {
+    for (const int d : {2, 3, 5}) {
+      const Digraph g = build_digraph(n, d, 0x5eed);
+      ASSERT_EQ(g.out.size(), static_cast<std::size_t>(n));
+      for (NodeKey u = 1; u <= n; ++u) {
+        const auto& targets = g.out[static_cast<std::size_t>(u - 1)];
+        EXPECT_EQ(targets.size(), static_cast<std::size_t>(d));
+        for (const NodeKey v : targets) {
+          EXPECT_NE(v, u) << "self-loop at " << u;
+          EXPECT_GE(v, 1);
+          EXPECT_LE(v, n);
+        }
+      }
+      // Union of d permutations: in-degree is exactly d too.
+      for (NodeKey v = 1; v <= n; ++v) {
+        EXPECT_EQ(g.in_degree(v), d) << "n=" << n << " d=" << d << " v=" << v;
+      }
+    }
+  }
+}
+
+TEST(RrdDigraph, SourceFeedsMinDNDistinctEntryReceivers) {
+  for (const NodeKey n : {1, 2, 3, 8}) {
+    for (const int d : {2, 4}) {
+      const Digraph g = build_digraph(n, d, 7);
+      EXPECT_EQ(g.source_out.size(),
+                static_cast<std::size_t>(std::min<NodeKey>(d, n)));
+      for (std::size_t i = 0; i < g.source_out.size(); ++i) {
+        for (std::size_t j = i + 1; j < g.source_out.size(); ++j) {
+          EXPECT_NE(g.source_out[i], g.source_out[j]);
+        }
+      }
+    }
+  }
+}
+
+TEST(RrdDigraph, LoneReceiverHasNoPeerEdges) {
+  const Digraph g = build_digraph(1, 3, 1);
+  EXPECT_TRUE(g.out[0].empty());
+  EXPECT_EQ(g.source_out.size(), 1u);
+}
+
+TEST(RrdDigraph, SameSeedSameGraphDistinctSeedsDiffer) {
+  const Digraph a = build_digraph(40, 3, 11);
+  const Digraph b = build_digraph(40, 3, 11);
+  EXPECT_EQ(a.out, b.out);
+  EXPECT_EQ(a.source_out, b.source_out);
+  const Digraph c = build_digraph(40, 3, 12);
+  EXPECT_NE(a.out, c.out);
+}
+
+TEST(RrdDigraph, RejectsDegenerateParameters) {
+  EXPECT_THROW((void)build_digraph(0, 2, 1), std::invalid_argument);
+  EXPECT_THROW((void)build_digraph(-3, 2, 1), std::invalid_argument);
+  // d = 1 is the ring regime where the O(log N) analysis does not apply.
+  EXPECT_THROW((void)build_digraph(10, 1, 1), std::invalid_argument);
+  EXPECT_THROW((void)build_digraph(10, 0, 1), std::invalid_argument);
+}
+
+TEST(RrdDigraph, DelayBoundGrowsLogarithmically) {
+  // Doubling N adds exactly 2 slots (one log2 step); growing d adds d.
+  EXPECT_EQ(delay_bound(64, 2) + 2, delay_bound(128, 2));
+  EXPECT_EQ(delay_bound(128, 2) + 2, delay_bound(256, 2));
+  EXPECT_EQ(delay_bound(64, 3), delay_bound(64, 2) + 1);
+  EXPECT_GT(delay_bound(2, 2), 0);
+}
+
+}  // namespace
+}  // namespace streamcast::rrd

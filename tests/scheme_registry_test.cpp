@@ -97,7 +97,7 @@ TEST(SchemeParity, SerialSessionMatchesSweepPath) {
 
 TEST(SchemeRegistry, EnumeratesEverySchemeInOrder) {
   const auto schemes = scheme::all();
-  ASSERT_EQ(schemes.size(), 6u);
+  ASSERT_EQ(schemes.size(), 8u);
   for (std::size_t i = 0; i < schemes.size(); ++i) {
     EXPECT_EQ(static_cast<std::size_t>(schemes[i].id), i);
     EXPECT_EQ(&scheme::descriptor(schemes[i].id), &schemes[i]);
@@ -109,10 +109,36 @@ TEST(SchemeRegistry, ParseSchemeIsExactInverseOfSchemeName) {
     EXPECT_EQ(scheme_name(desc.id), desc.name);
     EXPECT_EQ(parse_scheme(desc.name), desc.id);
     EXPECT_EQ(parse_scheme(scheme_name(desc.id)), desc.id);
+    // The single-cluster label IS the name, so it round-trips too.
+    EXPECT_EQ(parse_scheme(scheme_label(desc.id)), desc.id);
   }
   EXPECT_THROW((void)parse_scheme("multitree"), std::invalid_argument);
   EXPECT_THROW((void)parse_scheme(""), std::invalid_argument);
   EXPECT_THROW((void)parse_scheme("hypercube/"), std::invalid_argument);
+}
+
+TEST(SchemeRegistry, ParseSchemeRejectsMalformedLabels) {
+  // Multi-cluster report labels ("<name> xK clusters") are display strings,
+  // not names: parse_scheme must reject every decorated or mangled form for
+  // every registered scheme, not silently strip the suffix.
+  for (const scheme::Descriptor& desc : scheme::all()) {
+    const std::string name = desc.name;
+    for (const std::string& bad : {
+             scheme_label(desc.id, 2),    // "name x2 clusters"
+             scheme_label(desc.id, 999),  // huge cluster count
+             name + " x clusters",        // missing count
+             name + " x2",                // missing the word
+             name + " x2 cluster",        // singular
+             name + "  x2 clusters",      // doubled space
+             name + " X2 clusters",       // wrong case
+             " " + name,                  // leading space
+             name + " ",                  // trailing space
+             name + "x2 clusters",        // no separator
+         }) {
+      EXPECT_THROW((void)parse_scheme(bad), std::invalid_argument)
+          << "accepted: '" << bad << "'";
+    }
+  }
 }
 
 TEST(SchemeRegistry, SchemeLabelCoversBothReportForms) {
@@ -157,6 +183,11 @@ TEST(SchemeRegistry, CapabilitiesMatchLegacyDispatch) {
   // Every current scheme runs under the recovery layer.
   for (const scheme::Descriptor& desc : scheme::all()) {
     EXPECT_TRUE(desc.caps.lossy_links) << desc.name;
+  }
+  // Churn adaptation: exactly the Zhu-Hajek dynamic forest.
+  for (const scheme::Descriptor& desc : scheme::all()) {
+    EXPECT_EQ(desc.caps.churn, desc.id == Scheme::kDynamicTrees)
+        << desc.name;
   }
 }
 

@@ -156,9 +156,21 @@ def main() -> int:
         if cur_schemes is None:
             failures.append("current run has no \"schemes\" array to "
                             "validate the filter against")
-        elif sorted(cur_schemes) != sorted(want):
-            failures.append(f"scheme filter mismatch: run covered "
-                            f"{sorted(cur_schemes)}, expected {sorted(want)}")
+        else:
+            # Schemes the registry gained since the expectation was written
+            # are a warning, not a failure: a freshly registered scheme
+            # joining the full grid must not hard-fail the perf gate before
+            # anyone has had a chance to re-baseline. Missing expected
+            # schemes still fail.
+            missing = sorted(set(want) - set(cur_schemes))
+            extra = sorted(set(cur_schemes) - set(want))
+            if missing:
+                failures.append(f"scheme filter mismatch: run is missing "
+                                f"{missing} (covered {sorted(cur_schemes)})")
+            elif extra:
+                print(f"  WARNING: run covered schemes beyond the expected "
+                      f"set: {extra} (newly registered?); update the "
+                      f"--schemes list and re-baseline with --update")
 
     # A baseline written before the array existed covered the full grid;
     # comparing throughput is only meaningful when both runs covered the
@@ -173,6 +185,11 @@ def main() -> int:
                   else "current run is scheme-filtered, baseline is the "
                        "full grid")
         print(f"  throughput comparison skipped: {detail}")
+        if grids_differ and set(cur_schemes) > set(base_schemes):
+            new = sorted(set(cur_schemes) - set(base_schemes))
+            print(f"  WARNING: baseline predates scheme(s) {new}; the "
+                  f"throughput gate is inactive until the baseline is "
+                  f"refreshed with --update")
         if failures:
             print("bench_compare: FAIL")
             for failure in failures:

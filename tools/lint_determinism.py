@@ -37,6 +37,15 @@ lint enforces the three ways that property historically rots:
                replaced and silently skips schemes added later. Iterate
                scheme::all() or consult descriptor(s) capabilities
                instead.
+  overlay-seed — a util::Prng constructed from a numeric literal inside a
+               randomized-overlay scheme (src/rrd, src/dyntree; the rule is
+               scoped to those directories via RULE_ONLY_DIRS). Overlay
+               randomness must flow from SessionConfig::seed so that a
+               report stays a pure function of its config and the
+               differential harness's seed-determinism checks mean
+               something; a hard-coded seed silently disconnects the
+               config knob. Thread the caller's seed (ultimately
+               config.seed) into every Prng instead.
 
 Suppress a deliberate use with a same-line comment:  // lint: allow(<rule>)
 
@@ -85,12 +94,27 @@ RULES = {
     "scheme-dispatch": [
         re.compile(r"case\s+(streamcast::)?(core::)?Scheme::"),
     ],
+    # A Prng born from a literal (decimal or hex) rather than a threaded
+    # seed parameter. Only enforced inside the randomized-overlay schemes
+    # (RULE_ONLY_DIRS below).
+    "overlay-seed": [
+        re.compile(r"Prng\s+\w+\s*[({]\s*(0[xX][0-9a-fA-F]+|\d+)\s*[)}]"),
+        re.compile(r"Prng\s*[({]\s*(0[xX][0-9a-fA-F]+|\d+)\s*[)}]"),
+        re.compile(r"\bprng_\s*[({]\s*(0[xX][0-9a-fA-F]+|\d+)\s*[)}]"),
+    ],
 }
 
 # Rules that only apply outside a specific directory: src/scheme/ is the
 # one place allowed to switch over the Scheme enum.
 RULE_EXEMPT_DIRS = {
     "scheme-dispatch": [Path("src") / "scheme"],
+}
+
+# Rules that only apply INSIDE specific directories. The randomized-overlay
+# schemes must draw every bit of randomness from SessionConfig::seed;
+# elsewhere (tests, benches) literal seeds are the point.
+RULE_ONLY_DIRS = {
+    "overlay-seed": [Path("src") / "rrd", Path("src") / "dyntree"],
 }
 
 ALLOW = re.compile(r"lint:\s*allow\(([a-z-]+)\)")
@@ -143,11 +167,19 @@ def lint_file(path: Path) -> list[tuple[Path, int, str, str]]:
     ).splitlines()
     findings = []
 
+    repo = Path(__file__).resolve().parent.parent
     exempt_rules = {
         rule
         for rule, dirs in RULE_EXEMPT_DIRS.items()
         if any(d in path.parents or d == path.parent for d in
-               ((Path(__file__).resolve().parent.parent / d) for d in dirs))
+               ((repo / d) for d in dirs))
+    }
+    # Directory-scoped rules: skip them everywhere outside their dirs.
+    exempt_rules |= {
+        rule
+        for rule, dirs in RULE_ONLY_DIRS.items()
+        if not any(d in path.parents or d == path.parent for d in
+                   ((repo / d) for d in dirs))
     }
 
     def allowed(lineno: int, rule: str) -> bool:
