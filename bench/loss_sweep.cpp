@@ -1,4 +1,5 @@
-// Loss-rate sweep: every scheme of the paper over Bernoulli erasure links
+// Loss-rate sweep: every scheme of the paper, plus the related-work
+// random-regular and dynamic-trees overlays, over Bernoulli erasure links
 // with NACK repair, at loss rates {0, 1%, 5%, 10%}.
 //
 // The paper's delay/buffer results assume reliable links; this bench shows
@@ -38,6 +39,10 @@ int main() {
       {"multi-tree d=3", "multi-tree/greedy", 63, 3},
       {"hypercube", "hypercube", 63, 1},
       {"single-tree d=2", "single-tree", 63, 2},
+      {"random-regular d=2", "random-regular", 63, 2},
+      {"random-regular d=3", "random-regular", 63, 3},
+      {"dynamic-trees d=2", "dynamic-trees", 63, 2},
+      {"dynamic-trees d=3", "dynamic-trees", 63, 3},
   };
   const double rates[] = {0.0, 0.01, 0.05, 0.1};
 

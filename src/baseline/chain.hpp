@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/sim/protocol.hpp"
+#include "src/static/envelopes.hpp"
 
 namespace streamcast::baseline {
 
@@ -28,9 +29,12 @@ class ChainProtocol final : public sim::Protocol {
 };
 
 /// Closed form: node i receives packet j in slot j + i - 1, so its playback
-/// delay is i - 1.
+/// delay is i - 1. The worst case delegates to the constexpr envelope kit
+/// (src/static), the same formula proofs.cpp static_asserts.
 constexpr Slot chain_delay(NodeKey i) { return i - 1; }
-constexpr Slot chain_worst_delay(NodeKey n) { return n - 1; }
+constexpr Slot chain_worst_delay(NodeKey n) {
+  return static_cast<Slot>(envelope::chain_delay_bound(n));
+}
 constexpr double chain_average_delay(NodeKey n) {
   return static_cast<double>(n - 1) / 2.0;
 }

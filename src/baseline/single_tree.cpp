@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "src/static/envelopes.hpp"
+
 namespace streamcast::baseline {
 
 BoostedCluster::BoostedCluster(NodeKey n_receivers, int d)
@@ -37,16 +39,11 @@ void SingleTreeProtocol::deliver(Slot t, const Tx& tx) {
 }
 
 int single_tree_depth(NodeKey i, int d) {
-  int depth = 0;
-  while (i > 0) {
-    i = (i - 1) / static_cast<NodeKey>(d);
-    ++depth;
-  }
-  return depth;
+  return envelope::single_tree_depth(i, d);
 }
 
 Slot single_tree_worst_delay(NodeKey n, int d) {
-  return single_tree_depth(n, d) - 1;
+  return static_cast<Slot>(envelope::single_tree_delay_bound(n, d));
 }
 
 double single_tree_average_delay(NodeKey n, int d) {

@@ -48,6 +48,7 @@
 #include "src/multitree/protocol.hpp"        // IWYU pragma: export
 #include "src/multitree/resilience.hpp"      // IWYU pragma: export
 #include "src/multitree/schedule.hpp"        // IWYU pragma: export
+#include "src/multitree/serialize.hpp"       // IWYU pragma: export
 #include "src/multitree/structured.hpp"      // IWYU pragma: export
 #include "src/multitree/validate.hpp"        // IWYU pragma: export
 #include "src/net/buffer.hpp"                // IWYU pragma: export
@@ -61,5 +62,4 @@
 #include "src/supertree/analysis.hpp"        // IWYU pragma: export
 #include "src/supertree/protocol.hpp"        // IWYU pragma: export
 #include "src/util/dot.hpp"                  // IWYU pragma: export
-#include "src/util/serialize.hpp"            // IWYU pragma: export
 #include "src/workload/churn_trace.hpp"      // IWYU pragma: export

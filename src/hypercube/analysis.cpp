@@ -3,11 +3,16 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/static/envelopes.hpp"
+
 namespace streamcast::hypercube {
 
 Slot worst_delay(NodeKey n) {
-  const auto chain = decompose_chain(n);
-  return chain.back().playback_delay();
+  // Constexpr twin of decompose_chain().back().playback_delay(): the
+  // greedy decomposition's running dimension sum, shared with the
+  // static_assert grid in src/static/proofs.cpp. Equality against the
+  // decomposition is covered by tests/static_envelope_test.cpp.
+  return static_cast<Slot>(envelope::hypercube_delay_bound(n));
 }
 
 Slot measured_worst_delay(NodeKey n) {
@@ -43,11 +48,8 @@ double theorem4_bound(NodeKey n) {
 }
 
 Slot worst_delay_grouped(NodeKey n, int d) {
-  Slot worst = 0;
-  for (const Group& g : decompose_grouped(n, d)) {
-    worst = std::max(worst, g.chain.back().playback_delay());
-  }
-  return worst;
+  // Same even-split arithmetic as decompose_grouped, via the constexpr kit.
+  return static_cast<Slot>(envelope::hypercube_grouped_delay_bound(n, d));
 }
 
 double average_delay_grouped(NodeKey n, int d) {

@@ -21,6 +21,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "src/sim/erasure.hpp"
 #include "src/sim/event.hpp"
 #include "src/util/prng.hpp"
 
@@ -29,16 +30,10 @@ namespace streamcast::loss {
 using sim::Slot;
 using sim::Tx;
 
-/// Erasure oracle consulted by the slot engine for every transmission.
-class LossModel {
- public:
-  virtual ~LossModel() = default;
-
-  /// True iff the transmission queued in slot t is erased in flight. Called
-  /// exactly once per transmission, in schedule order — implementations may
-  /// advance per-link channel state here.
-  virtual bool erased(Slot t, const Tx& tx) = 0;
-};
+/// Erasure oracle consulted by the slot engine for every transmission. The
+/// interface (sim::ErasureOracle) lives in the simulation core so the
+/// engine never includes this layer; the channel models implement it here.
+class LossModel : public sim::ErasureOracle {};
 
 /// i.i.d. erasures: every transmission is lost with probability `rate`.
 class BernoulliLoss final : public LossModel {

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/static/envelopes.hpp"
 #include "src/util/ints.hpp"
 
 namespace streamcast::multitree {
@@ -11,16 +12,13 @@ namespace streamcast::multitree {
 int tree_height(NodeKey n, int d) {
   if (n < 1) throw std::invalid_argument("n < 1");
   if (d < 1) throw std::invalid_argument("d < 1");
-  if (d == 1) return static_cast<int>(n);  // chain: height N
-  // Smallest h with d + ... + d^h >= N, i.e. d^h >= N(1 - 1/d) + 1. Keep the
-  // arithmetic integral: d^h >= ceil( (N(d-1) + d) / d ).
-  const std::int64_t rhs =
-      util::ceil_div(static_cast<std::int64_t>(n) * (d - 1) + d, d);
-  return util::ceil_log(d, rhs);
+  // The formula lives in src/static so proofs.cpp can static_assert it;
+  // this wrapper adds only the argument validation.
+  return envelope::tree_height(n, d);
 }
 
 Slot worst_delay_bound(NodeKey n, int d) {
-  return static_cast<Slot>(tree_height(n, d)) * d;
+  return static_cast<Slot>(envelope::multitree_delay_bound(n, d));
 }
 
 double average_delay_lower_bound(NodeKey n, int d) {

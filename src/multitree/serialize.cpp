@@ -1,9 +1,9 @@
-#include "src/util/serialize.hpp"
+#include "src/multitree/serialize.hpp"
 
 #include <sstream>
 #include <stdexcept>
 
-namespace streamcast::util {
+namespace streamcast::multitree {
 
 namespace {
 
@@ -15,38 +15,38 @@ constexpr const char* kMagic = "streamcast-forest v1";
 
 }  // namespace
 
-void save_forest(const multitree::Forest& forest, std::ostream& os) {
+void save_forest(const Forest& forest, std::ostream& os) {
   os << kMagic << '\n'
      << "n " << forest.n() << " d " << forest.d() << '\n';
   for (int k = 0; k < forest.d(); ++k) {
     os << "tree " << k << ':';
-    for (multitree::NodeKey pos = 1; pos <= forest.n_pad(); ++pos) {
+    for (NodeKey pos = 1; pos <= forest.n_pad(); ++pos) {
       os << ' ' << forest.node_at(k, pos);
     }
     os << '\n';
   }
 }
 
-std::string forest_to_string(const multitree::Forest& forest) {
+std::string forest_to_string(const Forest& forest) {
   std::ostringstream os;
   save_forest(forest, os);
   return os.str();
 }
 
-multitree::Forest load_forest(std::istream& is) {
+Forest load_forest(std::istream& is) {
   std::string line;
   if (!std::getline(is, line) || line != kMagic) malformed("bad header");
 
   std::string n_word;
   std::string d_word;
-  multitree::NodeKey n = 0;
+  NodeKey n = 0;
   int d = 0;
   if (!(is >> n_word >> n >> d_word >> d) || n_word != "n" || d_word != "d") {
     malformed("bad dimensions line");
   }
   if (n < 1 || d < 1) malformed("non-positive dimensions");
 
-  multitree::Forest forest(n, d);
+  Forest forest(n, d);
   for (int k = 0; k < d; ++k) {
     std::string tree_word;
     int index = -1;
@@ -55,9 +55,9 @@ multitree::Forest load_forest(std::istream& is) {
         index != k || colon != ':') {
       malformed("bad tree header for tree " + std::to_string(k));
     }
-    std::vector<multitree::NodeKey> tree{multitree::kSource};
-    for (multitree::NodeKey pos = 1; pos <= forest.n_pad(); ++pos) {
-      multitree::NodeKey node = 0;
+    std::vector<NodeKey> tree{kSource};
+    for (NodeKey pos = 1; pos <= forest.n_pad(); ++pos) {
+      NodeKey node = 0;
       if (!(is >> node)) malformed("truncated tree " + std::to_string(k));
       tree.push_back(node);
     }
@@ -70,9 +70,9 @@ multitree::Forest load_forest(std::istream& is) {
   return forest;
 }
 
-multitree::Forest forest_from_string(const std::string& text) {
+Forest forest_from_string(const std::string& text) {
   std::istringstream is(text);
   return load_forest(is);
 }
 
-}  // namespace streamcast::util
+}  // namespace streamcast::multitree

@@ -14,16 +14,16 @@
 
 #include "src/multitree/forest.hpp"
 
-namespace streamcast::util {
+namespace streamcast::multitree {
 
 /// Writes the forest placement; deterministic output.
-void save_forest(const multitree::Forest& forest, std::ostream& os);
-std::string forest_to_string(const multitree::Forest& forest);
+void save_forest(const Forest& forest, std::ostream& os);
+std::string forest_to_string(const Forest& forest);
 
 /// Parses a placement previously produced by save_forest. Throws
 /// std::runtime_error on malformed input (bad header, wrong counts, ids out
 /// of range or repeated — Forest::set_tree re-validates the permutation).
-multitree::Forest load_forest(std::istream& is);
-multitree::Forest forest_from_string(const std::string& text);
+Forest load_forest(std::istream& is);
+Forest forest_from_string(const std::string& text);
 
-}  // namespace streamcast::util
+}  // namespace streamcast::multitree

@@ -4,6 +4,7 @@
 #include <bit>
 #include <stdexcept>
 
+#include "src/static/envelopes.hpp"
 #include "src/util/prng.hpp"
 
 namespace streamcast::rrd {
@@ -87,13 +88,12 @@ Digraph build_digraph(NodeKey n, int d, std::uint64_t seed) {
 }
 
 sim::Slot delay_bound(NodeKey n, int d) {
-  const auto log2n = static_cast<sim::Slot>(
-      std::bit_width(static_cast<std::uint64_t>(n)));
   // Measured worst delays (EXPERIMENTS.md E35: 5 seeds x N up to 512 x
   // d in {2..5}) sit at ~log2(N) + 1 and shrink slightly with d; doubling
   // the log term plus a d + 4 margin absorbs unlucky digraph draws without
-  // making the O(log N) claim vacuous.
-  return 2 * log2n + static_cast<sim::Slot>(d) + 4;
+  // making the O(log N) claim vacuous. The formula lives in src/static so
+  // proofs.cpp can static_assert its shape.
+  return static_cast<sim::Slot>(envelope::rrd_delay_bound(n, d));
 }
 
 }  // namespace streamcast::rrd

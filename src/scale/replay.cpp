@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/multitree/analysis.hpp"
+#include "src/static/lattice.hpp"
 #include "src/util/budget.hpp"
 #include "src/util/ints.hpp"
 
@@ -13,81 +14,27 @@ namespace streamcast::scale {
 
 namespace {
 
-/// The structured position lattice (src/multitree/structured.cpp) with the
-/// per-call Forest construction stripped: pure O(1) arithmetic in both
-/// directions, cheap enough for the O(N·d) replay loop.
-struct Lattice {
-  NodeKey n = 0;
-  int d = 0;
-  NodeKey interior = 0;  // I = ceil(n/d) - 1
-  NodeKey n_pad = 0;     // d * (I + 1)
-  std::int64_t p = 1;    // intra-group rotation period P = d / gcd(I, d)
+// The lattice arithmetic itself lives in src/static/lattice.hpp (PR 8):
+// envelope::Lattice is the constexpr form of the struct that used to be
+// defined here, shared with the compile-time proofs and the multi-tree
+// analysis so all three evaluate identical formulas.
+using Count = envelope::Count;
 
-  Lattice(NodeKey n_in, int d_in) : n(n_in), d(d_in) {
-    interior = static_cast<NodeKey>(
-        util::ceil_div(static_cast<std::int64_t>(n), d) - 1);
-    n_pad = static_cast<NodeKey>(d) * (interior + 1);
-    p = interior == 0
-            ? 1
-            : d / std::gcd(static_cast<std::int64_t>(interior),
-                           static_cast<std::int64_t>(d));
-  }
-
-  /// multitree::structured_position without the shape Forest.
-  NodeKey position_of(int k, NodeKey x) const {
-    if (x > static_cast<NodeKey>(d) * interior) {
-      const NodeKey j = x - static_cast<NodeKey>(d) * interior - 1;
-      return static_cast<NodeKey>(d) * interior +
-             (j + static_cast<NodeKey>(k)) % static_cast<NodeKey>(d) + 1;
-    }
-    const NodeKey i = (x - 1) / interior;
-    const NodeKey j = (x - 1) % interior;
-    const NodeKey block = static_cast<NodeKey>(((i - k) % d + d) % d);
-    const NodeKey slot =
-        (j + static_cast<NodeKey>(k / p)) % interior;
-    return block * interior + slot + 1;
-  }
-
-  /// Exact inverse (multitree::structured_node_at without the Forest).
-  NodeKey node_at(int k, NodeKey pos) const {
-    if (pos > static_cast<NodeKey>(d) * interior) {
-      const NodeKey off = pos - static_cast<NodeKey>(d) * interior - 1;
-      const NodeKey j = static_cast<NodeKey>(
-          util::mod_floor(off - static_cast<NodeKey>(k), d));
-      return static_cast<NodeKey>(d) * interior + j + 1;
-    }
-    const NodeKey block = (pos - 1) / interior;
-    const NodeKey slot = (pos - 1) % interior;
-    const NodeKey i = static_cast<NodeKey>((block + k) % d);
-    const NodeKey j = static_cast<NodeKey>(util::mod_floor(
-        slot - static_cast<NodeKey>(k / p), interior));
-    return i * interior + j + 1;
-  }
-
-  /// Depth of a position (source = 0), i.e. Forest::depth_of.
-  int depth_of(NodeKey pos) const {
-    int depth = 0;
-    while (pos > 0) {
-      pos = (pos - 1) / static_cast<NodeKey>(d);
-      ++depth;
-    }
-    return depth;
-  }
-};
-
-/// A(p) for every position, the recurrence of multitree::arrival_offsets
-/// run over the bare lattice.
-std::vector<Slot> lattice_offsets(const Lattice& lat) {
+/// A(p) for every position: the memoized form of envelope::arrival_offset
+/// (positions are parent-major, so one forward pass resolves every parent
+/// before its children — O(n_pad) instead of O(n_pad · height)).
+std::vector<Slot> lattice_offsets(const envelope::Lattice& lat) {
   std::vector<Slot> offset(static_cast<std::size_t>(lat.n_pad) + 1, 0);
-  for (NodeKey pos = 1; pos <= lat.n_pad; ++pos) {
+  for (Count pos = 1; pos <= lat.n_pad; ++pos) {
     const auto c = static_cast<Slot>((pos - 1) % lat.d);
-    if (pos <= static_cast<NodeKey>(lat.d)) {
+    if (pos <= lat.d) {
       offset[static_cast<std::size_t>(pos)] = c;
     } else {
       const Slot parent =
           offset[static_cast<std::size_t>((pos - 1) / lat.d)];
       offset[static_cast<std::size_t>(pos)] =
-          parent + 1 + util::mod_floor(c - parent - 1, lat.d);
+          parent + 1 + util::mod_floor(c - parent - 1,
+                                       static_cast<Slot>(lat.d));
     }
   }
   return offset;
@@ -102,7 +49,7 @@ ReplayReport replay_structured(const ReplayConfig& config,
   if (n < 1) throw std::invalid_argument("n < 1");
   if (d < 1) throw std::invalid_argument("d < 1");
 
-  const Lattice lat(n, d);
+  const envelope::Lattice lat(n, d);
   util::BudgetLedger ledger(util::MemoryBudget{options.budget_bytes});
   ledger.charge("scale/replay-offsets",
                 (static_cast<std::size_t>(lat.n_pad) + 1) * sizeof(Slot));
@@ -128,11 +75,10 @@ ReplayReport replay_structured(const ReplayConfig& config,
   // tail offset (x - dI - 1 + k) mod d. Only these d positions ever host a
   // dummy, so the per-position live-tree count is d everywhere else.
   std::vector<int> tail_dummies(static_cast<std::size_t>(d), 0);
-  for (NodeKey x = n + 1; x <= lat.n_pad; ++x) {
-    const NodeKey j = x - static_cast<NodeKey>(d) * lat.interior - 1;
-    for (int k = 0; k < d; ++k) {
-      ++tail_dummies[static_cast<std::size_t>(
-          (j + static_cast<NodeKey>(k)) % static_cast<NodeKey>(d))];
+  for (Count x = n + 1; x <= lat.n_pad; ++x) {
+    const Count j = x - d * lat.interior - 1;
+    for (Count k = 0; k < d; ++k) {
+      ++tail_dummies[static_cast<std::size_t>((j + k) % d)];
     }
   }
 
@@ -141,8 +87,8 @@ ReplayReport replay_structured(const ReplayConfig& config,
   // mode); dummy targets are skipped by the schedule but their round-robin
   // turn still passes, so they simply subtract from the live-tree count.
   std::int64_t transmissions = 0;
-  const NodeKey tail_base = static_cast<NodeKey>(d) * lat.interior;
-  for (NodeKey pos = 1; pos <= lat.n_pad; ++pos) {
+  const Count tail_base = d * lat.interior;
+  for (Count pos = 1; pos <= lat.n_pad; ++pos) {
     const int live =
         d - (pos > tail_base
                  ? tail_dummies[static_cast<std::size_t>(pos - tail_base - 1)]
@@ -179,13 +125,15 @@ ReplayReport replay_structured(const ReplayConfig& config,
     Slot a = 0;
     partners.clear();
     for (int k = 0; k < d; ++k) {
-      const NodeKey pos = lat.position_of(k, x);
+      const Count pos = lat.position_of(k, x);
       const Slot c = offsets[static_cast<std::size_t>(pos)] - k + shift;
       residue[static_cast<std::size_t>(k)] = c;
       a = std::max(a, c);
-      const NodeKey parent_pos = (pos - 1) / static_cast<NodeKey>(d);
-      partners.push_back(parent_pos == 0 ? NodeKey{0}
-                                         : lat.node_at(k, parent_pos));
+      const Count parent_pos = (pos - 1) / d;
+      partners.push_back(parent_pos == 0
+                             ? NodeKey{0}
+                             : static_cast<NodeKey>(
+                                   lat.node_at(k, parent_pos)));
     }
     report.worst_delay = std::max(report.worst_delay, a);
     delay_sum += static_cast<double>(a);
@@ -208,15 +156,13 @@ ReplayReport replay_structured(const ReplayConfig& config,
 
     // Children exist only in the single tree where x is interior (block 0
     // of group i = (x-1)/I); dummies never receive a send.
-    if (lat.interior > 0 &&
-        x <= static_cast<NodeKey>(d) * lat.interior) {
-      const int i = static_cast<int>((x - 1) / lat.interior);
-      const NodeKey pos = lat.position_of(i, x);
-      for (int c = 0; c < d; ++c) {
-        const NodeKey cp =
-            static_cast<NodeKey>(d) * pos + 1 + static_cast<NodeKey>(c);
-        const NodeKey child = lat.node_at(i, cp);
-        if (child <= n) partners.push_back(child);
+    if (lat.interior > 0 && x <= d * lat.interior) {
+      const Count i = (x - 1) / lat.interior;
+      const Count pos = lat.position_of(i, x);
+      for (Count c = 0; c < d; ++c) {
+        const Count cp = d * pos + 1 + c;
+        const Count child = lat.node_at(i, cp);
+        if (child <= n) partners.push_back(static_cast<NodeKey>(child));
       }
     }
     std::sort(partners.begin(), partners.end());

@@ -4,8 +4,6 @@
 #include <bit>
 #include <cassert>
 
-#include "src/loss/model.hpp"
-
 namespace streamcast::sim {
 
 namespace {

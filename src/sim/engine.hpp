@@ -11,8 +11,8 @@
 // paper's correctness proofs (appendix) state exactly these properties; the
 // engine turns them into machine-checked invariants for every scheme.
 //
-// Lossy links: an optional loss::LossModel is consulted once per queued
-// transmission. An erased transmission still charges the sender's capacity
+// Lossy links: an optional ErasureOracle (implemented by the loss layer's
+// channel models) is consulted once per queued transmission. An erased transmission still charges the sender's capacity
 // (the packet was sent) but never arrives; the drop is counted in
 // EngineStats, reported to observers via on_drop, and otherwise invisible to
 // the receiving side — exactly an erasure channel.
@@ -43,12 +43,9 @@
 #include <vector>
 
 #include "src/net/topology.hpp"
+#include "src/sim/erasure.hpp"
 #include "src/sim/protocol.hpp"
 #include "src/util/budget.hpp"
-
-namespace streamcast::loss {
-class LossModel;
-}  // namespace streamcast::loss
 
 namespace streamcast::sim {
 
@@ -117,9 +114,10 @@ class Engine {
 
   void add_observer(DeliveryObserver& obs) { observers_.push_back(&obs); }
 
-  /// Attaches (or clears, with nullptr) the link erasure model. The engine
-  /// does not own it; it must outlive the run.
-  void set_loss_model(loss::LossModel* model) { loss_ = model; }
+  /// Attaches (or clears, with nullptr) the link erasure oracle (the loss
+  /// layer's channel models implement it). The engine does not own it; it
+  /// must outlive the run.
+  void set_loss_model(ErasureOracle* model) { loss_ = model; }
 
   const EngineStats& stats() const { return stats_; }
 
@@ -150,7 +148,7 @@ class Engine {
   /// bookkeeping traffic is rare so this is off the hot path.
   std::unordered_set<std::uint64_t> seen_control_;
   std::vector<DeliveryObserver*> observers_;
-  loss::LossModel* loss_ = nullptr;
+  ErasureOracle* loss_ = nullptr;
   std::vector<Tx> tx_scratch_;
   /// Per-node per-slot capacity counters, epoch-stamped and split into
   /// parallel epoch/count arrays (a stale epoch reads as count zero, so no

@@ -1,0 +1,23 @@
+// Erasure oracle the slot engine consults once per queued transmission.
+//
+// Only the interface lives here: the concrete channel models (Bernoulli,
+// Gilbert–Elliott) are in src/loss, which sits *above* the simulation core
+// in the module layering (tools/layers.toml). The engine sees erasures
+// through this hook, so src/sim never includes src/loss.
+#pragma once
+
+#include "src/sim/event.hpp"
+
+namespace streamcast::sim {
+
+class ErasureOracle {
+ public:
+  virtual ~ErasureOracle() = default;
+
+  /// True iff the transmission queued in slot t is erased in flight. Called
+  /// exactly once per transmission, in schedule order — implementations may
+  /// advance per-link channel state here.
+  virtual bool erased(Slot t, const Tx& tx) = 0;
+};
+
+}  // namespace streamcast::sim

@@ -1,0 +1,180 @@
+// Compile-time model of the structured multi-tree position lattice.
+//
+// PR 6's closed-form replay (src/scale/replay.cpp) observed that a lossless
+// structured run is a pure function of (N, d): positions, arrival offsets,
+// playback delays and buffer occupancies are all integer arithmetic on the
+// padded complete-forest lattice. This header is that arithmetic made
+// `constexpr`, so the same formulas serve three masters from one source of
+// truth:
+//
+//   * src/scale/replay.cpp evaluates them at runtime for the million-node
+//     replay (byte-identical to the per-slot pump, regression-tested);
+//   * src/multitree delegates its closed-form analysis to them;
+//   * src/static/proofs.cpp evaluates them at *compile time* and
+//     static_asserts the paper's Theorem 2 envelope over a (N, d) grid — a
+//     violated bound is a build error, not a failed run.
+//
+// Everything here uses wide integers (int64) deliberately: this layer sits
+// below src/sim in the module DAG (tools/layers.toml) and must not import
+// the simulation vocabulary; callers narrow at the boundary.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+
+#include "src/util/ints.hpp"
+
+namespace streamcast::envelope {
+
+using Count = std::int64_t;
+
+/// The structured position lattice (src/multitree/structured.cpp) with the
+/// per-call Forest construction stripped: O(1) arithmetic in both
+/// directions between node keys and per-tree positions.
+struct Lattice {
+  Count n = 0;
+  Count d = 0;
+  Count interior = 0;  // I = ceil(n/d) - 1
+  Count n_pad = 0;     // d * (I + 1)
+  Count p = 1;         // intra-group rotation period P = d / gcd(I, d)
+
+  constexpr Lattice(Count n_in, Count d_in) : n(n_in), d(d_in) {
+    interior = util::ceil_div(n, d) - 1;
+    n_pad = d * (interior + 1);
+    p = interior == 0 ? 1 : d / std::gcd(interior, d);
+  }
+
+  /// multitree::structured_position without the shape Forest.
+  constexpr Count position_of(Count k, Count x) const {
+    if (x > d * interior) {
+      const Count j = x - d * interior - 1;
+      return d * interior + (j + k) % d + 1;
+    }
+    const Count i = (x - 1) / interior;
+    const Count j = (x - 1) % interior;
+    const Count block = ((i - k) % d + d) % d;
+    const Count slot = (j + k / p) % interior;
+    return block * interior + slot + 1;
+  }
+
+  /// Exact inverse (multitree::structured_node_at without the Forest).
+  constexpr Count node_at(Count k, Count pos) const {
+    if (pos > d * interior) {
+      const Count off = pos - d * interior - 1;
+      const Count j = util::mod_floor(off - k, d);
+      return d * interior + j + 1;
+    }
+    const Count block = (pos - 1) / interior;
+    const Count slot = (pos - 1) % interior;
+    const Count i = (block + k) % d;
+    const Count j = util::mod_floor(slot - k / p, interior);
+    return i * interior + j + 1;
+  }
+
+  /// Depth of a position (source = 0), i.e. Forest::depth_of.
+  constexpr int depth_of(Count pos) const {
+    int depth = 0;
+    while (pos > 0) {
+      pos = (pos - 1) / d;
+      ++depth;
+    }
+    return depth;
+  }
+};
+
+/// Arrival offset A(p) of the round-robin schedule (§2.2.3, identical for
+/// every tree): tree-k packet k + m*d reaches position p at slot m*d + A(p).
+/// The recurrence of multitree::arrival_offsets, evaluated up the parent
+/// chain:  A(child at index c of q) = A(q) + 1 + ((c - A(q) - 1) mod d),
+/// with A(p) = (p - 1) mod d in level 1.
+constexpr Count arrival_offset(Count pos, Count d) {
+  const Count c = (pos - 1) % d;
+  if (pos <= d) return c;
+  const Count parent = arrival_offset((pos - 1) / d, d);
+  return parent + 1 + util::mod_floor(c - parent - 1, d);
+}
+
+/// Closed-form playback delay a(x) of receiver x (pre-recorded mode):
+/// max over trees k of A(pos_k(x)) - k, clamped at 0.
+constexpr Count structured_delay(const Lattice& lat, Count x) {
+  Count a = 0;
+  for (Count k = 0; k < lat.d; ++k) {
+    const Count c = arrival_offset(lat.position_of(k, x), lat.d) - k;
+    if (c > a) a = c;
+  }
+  return a;
+}
+
+/// Worst-case playback delay over all receivers — the left-hand side of
+/// Theorem 2, computed from the schedule itself rather than claimed.
+constexpr Count structured_worst_delay(Count n, Count d) {
+  const Lattice lat(n, d);
+  Count worst = 0;
+  for (Count x = 1; x <= n; ++x) {
+    const Count a = structured_delay(lat, x);
+    if (a > worst) worst = a;
+  }
+  return worst;
+}
+
+/// Closed-form delay of the pipelined live mode (the analysis the paper
+/// skips): the source's send of tree-k packet k + m*d to child r slips by d
+/// exactly when r < k, and the slip propagates unchanged down the subtree,
+/// so  a_pipe(x) = max_k ( A(pos_k(x)) - k + (r1_k(x) < k ? d : 0) )  with
+/// r1_k(x) the child index of x's level-1 ancestor in tree k.
+constexpr Count structured_delay_pipelined(const Lattice& lat, Count x) {
+  Count a = 0;
+  for (Count k = 0; k < lat.d; ++k) {
+    Count pos = lat.position_of(k, x);
+    Count level1 = pos;
+    while (level1 > lat.d) level1 = (level1 - 1) / lat.d;
+    const Count r1 = (level1 - 1) % lat.d;
+    const Count c =
+        arrival_offset(pos, lat.d) - k + (r1 < k ? lat.d : 0);
+    if (c > a) a = c;
+  }
+  return a;
+}
+
+constexpr Count structured_worst_delay_pipelined(Count n, Count d) {
+  const Lattice lat(n, d);
+  Count worst = 0;
+  for (Count x = 1; x <= n; ++x) {
+    const Count a = structured_delay_pipelined(lat, x);
+    if (a > worst) worst = a;
+  }
+  return worst;
+}
+
+/// Max buffer occupancy of receiver x at playback start (receive capacity 1
+/// puts the maximum exactly there): the number of window packets arrived by
+/// slot a(x), counted residue by residue — the closed form of
+/// src/scale/replay.cpp, proved there against metrics::max_buffer_occupancy
+/// on the full small-N grid.
+constexpr Count structured_occupancy(const Lattice& lat, Count x,
+                                     Count window) {
+  const Count a = structured_delay(lat, x);
+  Count occ = 0;
+  for (Count k = 0; k < lat.d && k < window; ++k) {
+    const Count c = arrival_offset(lat.position_of(k, x), lat.d) - k;
+    const Count num = a - c - k;
+    if (num < 0) continue;
+    const Count cap = (window - 1 - k) / lat.d;
+    const Count hi = num / lat.d < cap ? num / lat.d : cap;
+    occ += hi + 1;
+  }
+  return occ;
+}
+
+/// Worst-case occupancy over all receivers — the buffer half of Theorem 2.
+constexpr Count structured_max_buffer(Count n, Count d, Count window) {
+  const Lattice lat(n, d);
+  Count worst = 0;
+  for (Count x = 1; x <= n; ++x) {
+    const Count occ = structured_occupancy(lat, x, window);
+    if (occ > worst) worst = occ;
+  }
+  return worst;
+}
+
+}  // namespace streamcast::envelope

@@ -1,0 +1,48 @@
+// Negative-control fixture for the compile-time envelope proofs.
+//
+// Compiled only by the try_compile gate in src/CMakeLists.txt, twice:
+// with STREAMCAST_ENVELOPE_PERTURB = 0 the build MUST succeed (positive
+// control — the assertions below hold with their exact constants), and
+// with STREAMCAST_ENVELOPE_PERTURB = -1 it MUST fail (the gate aborts the
+// configure if it does not). The assertions anchor on envelopes that are
+// exactly tight, so shaving a single slot is detectable:
+//
+//   * Proposition 1: at special N = 2^k - 1 the hypercube chain's worst
+//     delay is exactly k;
+//   * the chain baseline's worst delay is exactly N - 1;
+//   * Theorem 2's constant at (63, 2) is exactly h*d = 12.
+//
+// Together this proves the static_asserts in proofs.cpp have teeth: a
+// too-tight envelope is a build break, not a silently-passing check.
+#include "src/static/envelopes.hpp"
+#include "src/static/lattice.hpp"
+
+#ifndef STREAMCAST_ENVELOPE_PERTURB
+#define STREAMCAST_ENVELOPE_PERTURB 0
+#endif
+
+namespace streamcast::envelope {
+
+inline constexpr Count kPerturb = STREAMCAST_ENVELOPE_PERTURB;
+
+// Proposition 1 (tight): worst delay of one 7-cube is exactly 7.
+static_assert(hypercube_delay_bound(127) <= 7 + kPerturb,
+              "hypercube Proposition 1 envelope perturbed below the "
+              "schedule's exact worst delay");
+
+// Chain baseline (tight): the last node plays exactly n - 1 slots late.
+static_assert(chain_delay_bound(64) <= 63 + kPerturb,
+              "chain envelope perturbed below the exact worst delay");
+
+// Theorem 2's constant itself: h*d at (63, 2) is exactly 12.
+static_assert(multitree_delay_bound(63, 2) <= 12 + kPerturb,
+              "Theorem 2 h*d constant perturbed below its exact value");
+
+// And the schedule itself, against its exact measured margin (worst = 10
+// at (63, 2), two under h*d): the tightest envelope that admits the
+// schedule, which a one-slot perturbation pushes below it.
+static_assert(structured_worst_delay(63, 2) <=
+                  multitree_delay_bound(63, 2) - 2 + kPerturb,
+              "structured schedule exceeds the margin-exact envelope");
+
+}  // namespace streamcast::envelope

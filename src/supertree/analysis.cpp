@@ -2,8 +2,7 @@
 
 #include <cmath>
 
-#include "src/hypercube/analysis.hpp"
-#include "src/multitree/analysis.hpp"
+#include "src/static/envelopes.hpp"
 
 namespace streamcast::supertree {
 
@@ -26,16 +25,18 @@ Slot structural_bound(int k_clusters, int big_d, Slot t_c, Slot t_i, int d,
   // Packet j reaches the depth-L super node in slot j + L*T_c - 1 (each hop:
   // one relay slot folded into the T_c transit), its local root T_i later,
   // and the intra-cluster round-robin adds at most its worst-case delay plus
-  // one extra round of residue alignment caused by the gate.
-  const Slot depth = backbone_depth(k_clusters, big_d);
-  return depth * t_c + t_i +
-         multitree::worst_delay_bound(max_cluster_size, d) + d;
+  // one extra round of residue alignment caused by the gate. The formula —
+  // with envelope::backbone_depth standing in for the built backbone's
+  // max_depth(), an equality tests/static_envelope_test.cpp pins — lives in
+  // src/static so proofs.cpp can static_assert it over a (K, D, T_c) grid.
+  return static_cast<Slot>(envelope::supertree_structural_bound(
+      k_clusters, big_d, t_c, t_i, d, max_cluster_size));
 }
 
 Slot structural_bound_hypercube(int k_clusters, int big_d, Slot t_c, Slot t_i,
                                 NodeKey max_cluster_size) {
-  const Slot depth = backbone_depth(k_clusters, big_d);
-  return depth * t_c + t_i + hypercube::worst_delay(max_cluster_size);
+  return static_cast<Slot>(envelope::supertree_structural_bound_hypercube(
+      k_clusters, big_d, t_c, t_i, max_cluster_size));
 }
 
 }  // namespace streamcast::supertree

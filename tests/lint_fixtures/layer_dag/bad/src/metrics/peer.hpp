@@ -1,0 +1,5 @@
+// VIOLATING fixture (rule: layer-dag): metrics and graph share a rank, and
+// same-rank modules must stay independent — an edge needs one of them
+// demoted, not a lateral include.
+#pragma once
+#include "src/graph/graph.hpp"

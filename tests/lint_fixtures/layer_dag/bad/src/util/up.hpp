@@ -1,0 +1,4 @@
+// VIOLATING fixture (rule: layer-dag): util is the bottom rank; including
+// the simulation engine is an upward edge.
+#pragma once
+#include "src/sim/engine.hpp"

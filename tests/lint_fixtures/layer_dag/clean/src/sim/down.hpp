@@ -1,0 +1,7 @@
+// CLEAN fixture (rule: layer-dag): sim may include strictly lower ranks
+// (util, the simbase vocabulary headers, net) and its own module.
+#pragma once
+#include "src/net/topology.hpp"
+#include "src/sim/event.hpp"
+#include "src/sim/packet.hpp"
+#include "src/util/ints.hpp"

@@ -1,0 +1,8 @@
+// VIOLATING fixture (rule: rng). The alias definition names the banned
+// engine directly — both engines flag this line.
+#pragma once
+#include <random>
+
+namespace fixture {
+using FastRng = std::mt19937_64;
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// CLEAN fixture (rule: rng): the repo's deterministic util::Prng under an
+// alias must NOT be flagged — only aliases that canonicalize to a std
+// engine are findings.
+#include <cstdint>
+
+namespace util {
+struct Prng {
+  explicit Prng(std::uint64_t seed) : state(seed) {}
+  std::uint64_t state;
+};
+}  // namespace util
+
+namespace fixture {
+using FastRng = util::Prng;
+
+std::uint64_t draw() {
+  FastRng rng(42);
+  return rng.state;
+}
+}  // namespace fixture

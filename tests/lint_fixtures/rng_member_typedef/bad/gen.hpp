@@ -1,0 +1,9 @@
+// VIOLATING fixture (rule: rng): the engine hides behind a member typedef.
+#pragma once
+#include <random>
+
+namespace fixture {
+struct Gen {
+  using engine_type = std::minstd_rand;
+};
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// CLEAN fixture: deliberate uses carry same-line allow() markers, which
+// both engines must honor — zero findings expected here.
+#include <random>
+#include <unordered_map>
+
+namespace fixture {
+
+unsigned platform_comparison() {
+  std::mt19937 reference(1);  // lint: allow(rng)
+  return static_cast<unsigned>(reference());
+}
+
+int sum_any_order() {
+  std::unordered_map<int, int> table{{1, 10}, {2, 20}};
+  int sum = 0;
+  for (const auto& kv : table) {  // lint: allow(unordered-iteration)
+    sum += kv.second;
+  }
+  return sum;
+}
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// CLEAN fixture (rule: sweep-capture): named captures (even by reference)
+// are the sanctioned form — each one is auditable at the capture list.
+namespace run {
+template <class F>
+void parallel_for(int begin, int end, F body) {
+  for (int i = begin; i < end; ++i) body(i);
+}
+}  // namespace run
+
+namespace fixture {
+
+int sweep() {
+  int shared = 0;
+  run::parallel_for(
+      0, 8,
+      [&shared](int i) { shared += i; });
+  return shared;
+}
+
+}  // namespace fixture

@@ -1,0 +1,8 @@
+// Supporting header for the unordered-iteration alias fixture: the alias
+// is defined here, far from the range-for that iterates it.
+#pragma once
+#include <unordered_map>
+
+namespace fixture {
+using Index = std::unordered_map<int, int>;
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// CLEAN fixture (rule: unordered-iteration): iterating an ordered map is
+// fine, keyed lookups into an unordered one are too.
+#include <map>
+#include <unordered_map>
+
+namespace fixture {
+
+int sum_values() {
+  std::map<int, int> ordered{{1, 10}, {2, 20}};
+  std::unordered_map<int, int> lookup{{1, 10}};
+  int sum = lookup.at(1);
+  for (const auto& kv : ordered) {
+    sum += kv.second;
+  }
+  return sum;
+}
+
+}  // namespace fixture

@@ -1,19 +1,17 @@
 #include <gtest/gtest.h>
 
 #include "src/multitree/greedy.hpp"
+#include "src/multitree/serialize.hpp"
 #include "src/multitree/structured.hpp"
 #include "src/multitree/validate.hpp"
-#include "src/util/serialize.hpp"
 
-namespace streamcast::util {
+namespace streamcast::multitree {
 namespace {
-
-using multitree::Forest;
 
 TEST(Serialize, RoundTripIdentity) {
   for (const int d : {1, 2, 3, 5}) {
-    for (const multitree::NodeKey n : {1, 7, 15, 16, 40}) {
-      const Forest original = multitree::build_greedy(n, d);
+    for (const NodeKey n : {1, 7, 15, 16, 40}) {
+      const Forest original = build_greedy(n, d);
       const Forest restored =
           forest_from_string(forest_to_string(original));
       EXPECT_EQ(restored.n(), original.n());
@@ -22,13 +20,13 @@ TEST(Serialize, RoundTripIdentity) {
         EXPECT_EQ(restored.tree(k), original.tree(k))
             << "n=" << n << " d=" << d << " k=" << k;
       }
-      EXPECT_TRUE(multitree::validate_forest(restored).ok);
+      EXPECT_TRUE(validate_forest(restored).ok);
     }
   }
 }
 
 TEST(Serialize, StructuredRoundTripToo) {
-  const Forest original = multitree::build_structured(27, 3);
+  const Forest original = build_structured(27, 3);
   const Forest restored = forest_from_string(forest_to_string(original));
   for (int k = 0; k < 3; ++k) {
     EXPECT_EQ(restored.tree(k), original.tree(k));
@@ -36,7 +34,7 @@ TEST(Serialize, StructuredRoundTripToo) {
 }
 
 TEST(Serialize, OutputIsDeterministic) {
-  const Forest f = multitree::build_greedy(15, 3);
+  const Forest f = build_greedy(15, 3);
   EXPECT_EQ(forest_to_string(f), forest_to_string(f));
   EXPECT_NE(forest_to_string(f).find("streamcast-forest v1\nn 15 d 3\n"),
             std::string::npos);
@@ -51,7 +49,7 @@ TEST(Serialize, RejectsBadHeader) {
 }
 
 TEST(Serialize, RejectsTruncatedAndCorruptTrees) {
-  const Forest f = multitree::build_greedy(6, 2);
+  const Forest f = build_greedy(6, 2);
   std::string text = forest_to_string(f);
   // Truncate the last tree.
   EXPECT_THROW(forest_from_string(text.substr(0, text.size() - 4)),
@@ -65,4 +63,4 @@ TEST(Serialize, RejectsTruncatedAndCorruptTrees) {
 }
 
 }  // namespace
-}  // namespace streamcast::util
+}  // namespace streamcast::multitree

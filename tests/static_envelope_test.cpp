@@ -1,0 +1,130 @@
+// The constexpr envelope kit (src/static) against the runtime modules it
+// was factored out of: every formula must agree EXACTLY with the
+// implementation that used to own it, over a grid wider than the
+// static_assert grid in src/static/proofs.cpp. This is the soundness link
+// of the compile-time proofs — proofs.cpp asserts properties of the
+// constexpr arithmetic; this test pins that arithmetic to the schedules
+// and structures the simulator actually runs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/baseline/chain.hpp"
+#include "src/baseline/single_tree.hpp"
+#include "src/hypercube/analysis.hpp"
+#include "src/hypercube/arbitrary.hpp"
+#include "src/hypercube/grouped.hpp"
+#include "src/multitree/analysis.hpp"
+#include "src/multitree/schedule.hpp"
+#include "src/multitree/structured.hpp"
+#include "src/rrd/digraph.hpp"
+#include "src/static/envelopes.hpp"
+#include "src/static/lattice.hpp"
+#include "src/supertree/backbone.hpp"
+
+namespace streamcast {
+namespace {
+
+TEST(StaticEnvelope, TreeHeightMatchesRuntime) {
+  for (int d = 1; d <= 5; ++d) {
+    for (int n = 1; n <= 300; ++n) {
+      EXPECT_EQ(envelope::tree_height(n, d), multitree::tree_height(n, d))
+          << "n=" << n << " d=" << d;
+    }
+  }
+}
+
+TEST(StaticEnvelope, StructuredDelayMatchesScheduleClosedForm) {
+  for (int d = 1; d <= 4; ++d) {
+    for (int n = 1; n <= 120; ++n) {
+      const auto forest = multitree::build_structured(n, d);
+      EXPECT_EQ(envelope::structured_worst_delay(n, d),
+                multitree::closed_form_worst_delay(forest))
+          << "n=" << n << " d=" << d;
+      // Pipelined live mode, per receiver.
+      const auto pipelined = multitree::closed_form_delays_pipelined(forest);
+      const envelope::Lattice lat(n, d);
+      sim::Slot worst = 0;
+      for (int x = 1; x <= n; ++x) {
+        const auto a = static_cast<sim::Slot>(
+            envelope::structured_delay_pipelined(lat, x));
+        EXPECT_EQ(a, pipelined[static_cast<std::size_t>(x)])
+            << "n=" << n << " d=" << d << " x=" << x;
+        worst = std::max(worst, a);
+      }
+      EXPECT_EQ(worst, static_cast<sim::Slot>(
+                           envelope::structured_worst_delay_pipelined(n, d)));
+    }
+  }
+}
+
+TEST(StaticEnvelope, LatticeMatchesStructuredForest) {
+  for (int d = 1; d <= 4; ++d) {
+    for (int n = 1; n <= 80; ++n) {
+      const envelope::Lattice lat(n, d);
+      for (int k = 0; k < d; ++k) {
+        for (int x = 1; x <= lat.n_pad; ++x) {
+          EXPECT_EQ(lat.position_of(k, x),
+                    multitree::structured_position(n, d, k, x));
+          EXPECT_EQ(lat.node_at(k, lat.position_of(k, x)), x);
+        }
+      }
+    }
+  }
+}
+
+TEST(StaticEnvelope, HypercubeMatchesDecomposition) {
+  for (int n = 1; n <= 3000; ++n) {
+    const auto chain = hypercube::decompose_chain(n);
+    EXPECT_EQ(envelope::hypercube_delay_bound(n),
+              chain.back().playback_delay())
+        << "n=" << n;
+    EXPECT_EQ(envelope::hypercube_segments(n),
+              static_cast<int>(chain.size()))
+        << "n=" << n;
+  }
+  for (int d = 1; d <= 6; ++d) {
+    for (int n = 1; n <= 300; ++n) {
+      sim::Slot worst = 0;
+      for (const auto& g : hypercube::decompose_grouped(n, d)) {
+        worst = std::max(worst, g.chain.back().playback_delay());
+      }
+      EXPECT_EQ(envelope::hypercube_grouped_delay_bound(n, d), worst)
+          << "n=" << n << " d=" << d;
+    }
+  }
+}
+
+TEST(StaticEnvelope, BaselinesMatchRuntime) {
+  for (int d = 1; d <= 5; ++d) {
+    for (int n = 1; n <= 300; ++n) {
+      EXPECT_EQ(envelope::single_tree_depth(n, d),
+                baseline::single_tree_depth(n, d));
+      EXPECT_EQ(envelope::single_tree_delay_bound(n, d),
+                baseline::single_tree_worst_delay(n, d));
+      EXPECT_EQ(envelope::chain_delay_bound(n),
+                baseline::chain_worst_delay(n));
+    }
+  }
+}
+
+TEST(StaticEnvelope, BackboneDepthMatchesBuiltBackbone) {
+  for (int big_d = 3; big_d <= 6; ++big_d) {  // build_backbone needs D >= 3
+    for (int k = 1; k <= 200; ++k) {
+      EXPECT_EQ(envelope::backbone_depth(k, big_d),
+                supertree::build_backbone(k, big_d).max_depth())
+          << "k=" << k << " D=" << big_d;
+    }
+  }
+}
+
+TEST(StaticEnvelope, RrdBoundMatchesRuntime) {
+  for (int d = 2; d <= 5; ++d) {
+    for (int n = 2; n <= 600; ++n) {
+      EXPECT_EQ(envelope::rrd_delay_bound(n, d), rrd::delay_bound(n, d));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace streamcast

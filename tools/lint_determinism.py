@@ -224,7 +224,12 @@ def main(argv: list[str]) -> int:
     repo = Path(__file__).resolve().parent.parent
     files = []
     for root in roots:
-        base = repo / root
+        base = Path(root) if Path(root).exists() else repo / root
+        if base.is_file():
+            # Explicit file: lint it as-is (the lint fixture runner feeds
+            # single violating files to prove what each engine catches).
+            files.append(base)
+            continue
         if not base.is_dir():
             print(f"lint_determinism: no such directory: {root}",
                   file=sys.stderr)
@@ -233,6 +238,10 @@ def main(argv: list[str]) -> int:
             p
             for p in sorted(base.rglob("*"))
             if p.suffix in SOURCE_SUFFIXES
+            # Deliberately-violating golden fixtures are linted only when
+            # named explicitly (tests/lint_fixtures/run_fixture_tests.py).
+            and ("lint_fixtures" not in p.parts
+                 or "lint_fixtures" in base.parts)
         )
 
     findings = []

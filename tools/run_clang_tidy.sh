@@ -2,16 +2,30 @@
 # Runs clang-tidy over every first-party translation unit using the exported
 # compile database. Skips gracefully (exit 0 with a notice) when clang-tidy
 # is not installed, so local builds in minimal containers are not blocked;
-# CI installs clang-tidy and treats findings as failures.
+# CI passes --require so a missing binary fails the job instead of silently
+# skipping it.
 #
-# Usage: tools/run_clang_tidy.sh [build-dir]   (default: build)
+# Usage: tools/run_clang_tidy.sh [--require] [build-dir]   (default: build)
+#   --require     error (exit 2) when clang-tidy is not installed
+#   CLANG_TIDY    env var naming the binary (default: clang-tidy), so CI can
+#                 pin a version, e.g. CLANG_TIDY=clang-tidy-14
 set -u
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
+require=0
+if [ "${1:-}" = "--require" ]; then
+  require=1
+  shift
+fi
 build_dir="${1:-$repo/build}"
+tidy="${CLANG_TIDY:-clang-tidy}"
 
-if ! command -v clang-tidy >/dev/null 2>&1; then
-  echo "run_clang_tidy: clang-tidy not installed; skipping (CI runs it)"
+if ! command -v "$tidy" >/dev/null 2>&1; then
+  if [ "$require" -eq 1 ]; then
+    echo "run_clang_tidy: $tidy not installed but --require was given" >&2
+    exit 2
+  fi
+  echo "run_clang_tidy: $tidy not installed; skipping (CI runs it)"
   exit 0
 fi
 if [ ! -f "$build_dir/compile_commands.json" ]; then
@@ -37,13 +51,15 @@ if [ "${#files[@]}" -eq 0 ]; then
   exit 2
 fi
 
-echo "run_clang_tidy: checking ${#files[@]} files"
+echo "run_clang_tidy: checking ${#files[@]} files with $tidy"
 status=0
-if command -v run-clang-tidy >/dev/null 2>&1; then
-  run-clang-tidy -quiet -p "$build_dir" "${files[@]}" || status=$?
+runner="run-clang-tidy${tidy#clang-tidy}"
+if command -v "$runner" >/dev/null 2>&1; then
+  "$runner" -quiet -p "$build_dir" -clang-tidy-binary "$tidy" \
+    "${files[@]}" || status=$?
 else
   for f in "${files[@]}"; do
-    clang-tidy -quiet -p "$build_dir" "$f" || status=$?
+    "$tidy" -quiet -p "$build_dir" "$f" || status=$?
   done
 fi
 
