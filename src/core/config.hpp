@@ -102,6 +102,10 @@ struct SessionConfig {
   int big_d = 3;
   /// Inter-cluster latency T_c > 1 (clusters > 1 only).
   Slot t_c = 10;
+  /// Worker threads a multicluster run is sharded across at the super-tree
+  /// cluster boundary (clamped to [1, clusters]; DESIGN.md §14). Output is
+  /// byte-identical at every value — 1 is the serial pump.
+  int shards = 1;
 
   // --- lossy links (clusters == 1 only) ------------------------------------
   LossConfig loss{};

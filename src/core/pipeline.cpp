@@ -117,23 +117,22 @@ void RunPipeline::run(Slot horizon, DrainPolicy drain) {
   observers_.require_clean();
 }
 
-QosReport RunPipeline::aggregate(const Aggregation& agg, NodeKey* incomplete,
-                                 scale::ScaleSummary* summary) const {
+QosReport aggregate_qos(const Aggregation& agg, const AggregateInputs& in,
+                        NodeKey* incomplete, scale::ScaleSummary* summary) {
   QosReport report;
   report.scheme = agg.label;
   report.n = agg.report_n;
   report.d = agg.d;
-  report.transmissions = engine_.stats().transmissions;
-  report.slots_simulated = end_;
-  report.drops = engine_.stats().drops;
-  report.retransmissions = engine_.stats().retransmissions;
+  report.transmissions = in.stats.transmissions;
+  report.slots_simulated = in.end;
+  report.drops = in.stats.drops;
+  report.retransmissions = in.stats.retransmissions;
 
-  const bool scaled = observers_.scaled();
   std::optional<scale::DistributionSketch> delay_sketch;
   std::optional<scale::DistributionSketch> buffer_sketch;
   if (summary != nullptr) {
-    delay_sketch.emplace(scale_options_.epsilon);
-    buffer_sketch.emplace(scale_options_.epsilon);
+    delay_sketch.emplace(in.scale.epsilon);
+    buffer_sketch.emplace(in.scale.epsilon);
   }
 
   double delay_sum = 0;
@@ -141,8 +140,10 @@ QosReport RunPipeline::aggregate(const Aggregation& agg, NodeKey* incomplete,
   NodeKey complete = 0;
   std::vector<Slot> row;
   for (const NodeKey key : agg.receivers) {
-    const auto a = scaled ? observers_.scale_delays().playback_delay(key)
-                          : observers_.delays().playback_delay(key);
+    const ObserverStack& stack = in.stack_of(key);
+    const bool scaled = stack.scaled();
+    const auto a = scaled ? stack.scale_delays().playback_delay(key)
+                          : stack.delays().playback_delay(key);
     if (!a) {
       if (!agg.skip_incomplete) {
         throw std::logic_error("receiver window incomplete");
@@ -153,11 +154,11 @@ QosReport RunPipeline::aggregate(const Aggregation& agg, NodeKey* incomplete,
     report.worst_delay = std::max(report.worst_delay, *a);
     delay_sum += static_cast<double>(*a);
     if (scaled) {
-      observers_.scale_delays().arrivals(key, row);
+      stack.scale_delays().arrivals(key, row);
     } else {
-      row.resize(static_cast<std::size_t>(window_));
-      for (PacketId j = 0; j < window_; ++j) {
-        row[static_cast<std::size_t>(j)] = observers_.delays().arrival(key, j);
+      row.resize(static_cast<std::size_t>(in.window));
+      for (PacketId j = 0; j < in.window; ++j) {
+        row[static_cast<std::size_t>(j)] = stack.delays().arrival(key, j);
       }
     }
     const std::size_t occ = metrics::max_buffer_occupancy(row, *a);
@@ -178,8 +179,10 @@ QosReport RunPipeline::aggregate(const Aggregation& agg, NodeKey* incomplete,
   // were observed either way.
   double neighbor_sum = 0;
   for (const NodeKey key : agg.receivers) {
-    const std::size_t count = scaled ? observers_.scale_neighbors().count(key)
-                                     : observers_.neighbors().count(key);
+    const ObserverStack& stack = in.stack_of(key);
+    const std::size_t count = stack.scaled()
+                                  ? stack.scale_neighbors().count(key)
+                                             : stack.neighbors().count(key);
     report.max_neighbors = std::max(report.max_neighbors, count);
     neighbor_sum += static_cast<double>(count);
   }
@@ -190,14 +193,26 @@ QosReport RunPipeline::aggregate(const Aggregation& agg, NodeKey* incomplete,
 
   if (summary != nullptr) {
     summary->nodes = agg.report_n;
-    summary->epsilon = scale_options_.epsilon;
+    summary->epsilon = in.scale.epsilon;
     summary->replayed = false;
-    summary->budget_bytes = ledger_.limit();
-    summary->bytes_peak = ledger_.peak();
+    summary->budget_bytes = in.ledger != nullptr ? in.ledger->limit() : 0;
+    summary->bytes_peak = in.ledger != nullptr ? in.ledger->peak() : 0;
     summary->delay = delay_sketch->summarize();
     summary->buffer = buffer_sketch->summarize();
   }
   return report;
+}
+
+QosReport RunPipeline::aggregate(const Aggregation& agg, NodeKey* incomplete,
+                                 scale::ScaleSummary* summary) const {
+  AggregateInputs in;
+  in.stack_of = [this](NodeKey) -> const ObserverStack& { return observers_; };
+  in.stats = engine_.stats();
+  in.end = end_;
+  in.window = window_;
+  in.scale = scale_options_;
+  in.ledger = &ledger_;
+  return aggregate_qos(agg, in, incomplete, summary);
 }
 
 LossSummary RunPipeline::loss_summary(const LossConfig& loss, NodeKey from,

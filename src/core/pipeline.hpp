@@ -26,6 +26,7 @@
 // BudgetExceeded instead of OOM-ing the host.
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -115,6 +116,42 @@ class ObserverStack {
   sim::Trace* trace_;
 };
 
+/// How a finished run is folded into a QosReport.
+struct Aggregation {
+  std::string label;
+  NodeKey report_n = 0;
+  int d = 0;
+  /// Node keys aggregated (receivers only; supers and relays excluded).
+  std::vector<NodeKey> receivers;
+  /// Lossy runs: count receivers with incomplete windows instead of
+  /// throwing (a lossy run may legitimately time out).
+  bool skip_incomplete = false;
+};
+
+/// Inputs to the shared QoS fold, decoupled from RunPipeline so the sharded
+/// runner (src/core/shard) can feed per-shard observer stacks through the
+/// exact same arithmetic. `stack_of(key)` returns the stack that observed
+/// `key` — the pipeline's own single stack for the serial pump, the owning
+/// shard's stack when sharded. Iteration stays in `Aggregation::receivers`
+/// order either way, so every floating-point sum folds in the same order
+/// and the QosReport is byte-identical by construction (DESIGN.md §14).
+struct AggregateInputs {
+  std::function<const ObserverStack&(NodeKey)> stack_of;
+  /// Engine totals (summed over shards in submission order when sharded).
+  sim::EngineStats stats{};
+  /// Last slot simulated.
+  Slot end = 0;
+  PacketId window = 0;
+  scale::ScaleOptions scale{};
+  /// Memory accounting for ScaleSummary; may be null when no summary is
+  /// requested.
+  const util::BudgetLedger* ledger = nullptr;
+};
+
+QosReport aggregate_qos(const Aggregation& agg, const AggregateInputs& in,
+                        NodeKey* incomplete = nullptr,
+                        scale::ScaleSummary* summary = nullptr);
+
 class RunPipeline {
  public:
   /// For a lossy run, `protocol` is the RecoveryProtocol itself (it drives
@@ -140,17 +177,9 @@ class RunPipeline {
   void run(Slot horizon, DrainPolicy drain);
   void run(Slot horizon) { run(horizon, DrainPolicy{}); }
 
-  /// How a finished run is folded into a QosReport.
-  struct Aggregation {
-    std::string label;
-    NodeKey report_n = 0;
-    int d = 0;
-    /// Node keys aggregated (receivers only; supers and relays excluded).
-    std::vector<NodeKey> receivers;
-    /// Lossy runs: count receivers with incomplete windows instead of
-    /// throwing (a lossy run may legitimately time out).
-    bool skip_incomplete = false;
-  };
+  /// Historical spelling: the aggregation shape now lives at namespace
+  /// scope so the sharded runner can share it.
+  using Aggregation = core::Aggregation;
 
   /// Aggregates delay/buffer over (complete) receivers and neighbor counts
   /// over all receivers, plus the engine-level totals. `incomplete`, when

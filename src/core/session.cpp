@@ -6,12 +6,11 @@
 #include <vector>
 
 #include "src/core/pipeline.hpp"
+#include "src/core/shard.hpp"
 #include "src/loss/model.hpp"
 #include "src/loss/recovery.hpp"
-#include "src/multitree/analysis.hpp"
 #include "src/scale/replay.hpp"
 #include "src/scheme/registry.hpp"
-#include "src/supertree/protocol.hpp"
 
 namespace streamcast::core {
 
@@ -20,6 +19,7 @@ StreamingSession::StreamingSession(SessionConfig config)
   if (config_.n < 1) throw std::invalid_argument("n < 1");
   if (config_.d < 1) throw std::invalid_argument("d < 1");
   if (config_.clusters < 1) throw std::invalid_argument("clusters < 1");
+  if (config_.shards < 1) throw std::invalid_argument("shards < 1");
   if (config_.clusters > 1) {
     if (!scheme::descriptor(config_.scheme).caps.multicluster) {
       throw std::invalid_argument(
@@ -48,57 +48,15 @@ std::vector<NodeKey> cluster_receivers(NodeKey n) {
   return keys;
 }
 
-/// Cross-cluster run: the super-tree τ with the registry's intra scheme;
-/// metrics aggregated over every cluster's receivers.
+/// Cross-cluster run: the super-tree τ with the registry's intra scheme,
+/// executed by the sharded runner (config.shards == 1 is the serial pump;
+/// any shard count produces byte-identical output — DESIGN.md §14). The
+/// session always streams pre-recorded data across clusters, exactly as the
+/// historical serial path did.
 QosReport run_multicluster(const SessionConfig& config) {
-  const scheme::Descriptor& desc = scheme::descriptor(config.scheme);
-  const NodeKey n = config.n;
-  std::vector<net::ClusteredTopology::ClusterSpec> specs(
-      static_cast<std::size_t>(config.clusters),
-      net::ClusteredTopology::ClusterSpec{n});
-  net::ClusteredTopology topo(specs, config.big_d, config.d, config.t_c);
-  supertree::SuperTreeProtocol proto(topo, desc.intra);
-
-  const Slot bound = desc.multicluster_bound(config);
-  PacketId window = config.window;
-  if (window == 0) window = 2 * (multitree::worst_delay_bound(n, config.d));
-
-  std::vector<NodeKey> receivers;
-  receivers.reserve(static_cast<std::size_t>(config.clusters) *
-                    static_cast<std::size_t>(n));
-  for (int c = 0; c < config.clusters; ++c) {
-    for (NodeKey x = 1; x <= n; ++x) {
-      receivers.push_back(topo.receiver(c, x));
-    }
-  }
-
-  ObserverSpec spec;
-  spec.window = window;
-  spec.node_span = static_cast<NodeKey>(topo.size());
-  spec.audit = config.audit;
-  if (config.audit) {
-    // Cross-cluster envelope: the structural bound covers the backbone hops
-    // (T_c pacing is checked per delivery via the latency invariant) and
-    // doubles as the buffer envelope — a receiver buffers at most its
-    // playback delay's worth of the rate-1 stream. Only plain receivers are
-    // window-audited; supers and local roots relay.
-    audit::AuditOptions opts;
-    opts.window = window;
-    opts.delay_bound = bound;
-    opts.buffer_bound = bound;
-    opts.require_complete = true;
-    opts.audited_nodes = receivers;
-    spec.audit_options = std::move(opts);
-  }
-  spec.scale = config.scale;
-
-  RunPipeline pipeline(topo, proto, spec);
-  pipeline.run(window + bound + 8);
-  return pipeline.aggregate({.label = scheme_label(config.scheme,
-                                                   config.clusters),
-                             .report_n = n * config.clusters,
-                             .d = config.d,
-                             .receivers = std::move(receivers)});
+  ShardOptions opts;
+  opts.shards = config.shards;
+  return run_multicluster_sharded(config, opts);
 }
 
 /// Reliable single-cluster run through the pipeline. `summary`, when given,

@@ -1,3 +1,4 @@
+// streamcast: hot-path (lint: hot-path-alloc applies to this file)
 #include "src/sim/engine.hpp"
 
 #include <algorithm>
@@ -36,7 +37,10 @@ std::uint64_t delivery_key(NodeKey node, PacketId packet) {
 
 Engine::Engine(const net::Topology& topology, Protocol& protocol,
                EngineOptions options)
-    : topology_(topology), protocol_(protocol), options_(options) {
+    : topology_(topology),
+      protocol_(protocol),
+      options_(options),
+      arena_(options.budget, "sim/ring-arena") {
   const auto n = static_cast<std::size_t>(topology_.size());
   charge("sim/capacity-epochs",
          2 * n * (sizeof(Slot) + sizeof(std::int32_t)));
@@ -53,7 +57,8 @@ Engine::Engine(const net::Topology& topology, Protocol& protocol,
   seen_stride_ = std::bit_ceil(hint_words);
   charge("sim/seen-bitmaps", n * seen_stride_ * sizeof(std::uint64_t));
   seen_words_.assign(n * seen_stride_, 0);
-  ring_.resize(8);
+  ring_.assign(8, util::ArenaVector<Delivery>(
+                      util::ArenaAllocator<Delivery>(arena_)));
   ring_mask_ = ring_.size() - 1;
 }
 
@@ -73,7 +78,11 @@ void Engine::run_until(Slot horizon) {
 
 void Engine::grow_ring(Slot max_latency) {
   const auto needed = std::bit_ceil(static_cast<std::size_t>(max_latency));
-  std::vector<std::vector<Delivery>> next(needed);
+  // Bucket headers are O(ring size) and re-laid-out only on latency growth;
+  // the Delivery payloads themselves move between arena-backed buckets.
+  std::vector<util::ArenaVector<Delivery>> next(  // lint: allow(hot-path-alloc)
+      needed,
+      util::ArenaVector<Delivery>(util::ArenaAllocator<Delivery>(arena_)));
   const std::size_t mask = needed - 1;
   for (auto& bucket : ring_) {
     for (Delivery& d : bucket) {
@@ -83,6 +92,7 @@ void Engine::grow_ring(Slot max_latency) {
   }
   ring_ = std::move(next);
   ring_mask_ = mask;
+  ++stats_.ring_relayouts;
 }
 
 void Engine::grow_seen(std::size_t word) {
@@ -91,6 +101,7 @@ void Engine::grow_seen(std::size_t word) {
   // Both layouts are live during the copy; charge the new one first (fail
   // fast before allocating), release the old one after the swap.
   charge("sim/seen-bitmaps", n * stride * sizeof(std::uint64_t));
+  // lint: allow(hot-path-alloc) — one-shot flat bitmap re-layout
   std::vector<std::uint64_t> next(n * stride, 0);
   for (std::size_t node = 0; node < n; ++node) {
     std::copy_n(seen_words_.data() + node * seen_stride_, seen_stride_,
@@ -103,6 +114,7 @@ void Engine::grow_seen(std::size_t word) {
     charged_bytes_ -= old_bytes;
   }
   seen_stride_ = stride;
+  ++stats_.seen_relayouts;
 }
 
 bool Engine::seen_before(NodeKey node, PacketId packet) {
@@ -117,6 +129,48 @@ bool Engine::seen_before(NodeKey node, PacketId packet) {
   const bool seen = (bits & mask) != 0;
   bits |= mask;
   return seen;
+}
+
+void Engine::deliver_one(Slot t, const Delivery& d) {
+  const auto to = static_cast<std::size_t>(d.tx.to);
+  if (recv_epoch_[to] != t) {
+    recv_epoch_[to] = t;
+    recv_count_[to] = 0;
+  }
+  if (++recv_count_[to] > topology_.recv_capacity(d.tx.to) &&
+      options_.enforce) {
+    violation("receive capacity exceeded", t, d.tx);
+  }
+  if (seen_before(d.tx.to, d.tx.packet)) {
+    ++stats_.duplicate_deliveries;
+    if (options_.forbid_duplicates && options_.enforce) {
+      violation("duplicate delivery", t, d.tx);
+    }
+  }
+  ++stats_.deliveries;
+  for (DeliveryObserver* obs : observers_) obs->on_delivery(d);
+  protocol_.deliver(t, d.tx);
+}
+
+void Engine::post(const Delivery& d) {
+  if (d.received >= now_) {
+    // Ring invariant: size > (arrival distance from now), so co-resident
+    // same-bucket deliveries always share an arrival slot.
+    const Slot span = d.received - now_ + 1;
+    if (static_cast<std::size_t>(span) > ring_.size()) grow_ring(span);
+    ring_[static_cast<std::size_t>(d.received) & ring_mask_].push_back(d);
+    return;
+  }
+  if (d.received != now_ - 1) {
+    throw ProtocolViolation(
+        "post: arrival slot " + std::to_string(d.received) +
+        " is before the epoch boundary (now " + std::to_string(now_) + ")");
+  }
+  // Retroactive completion of the epoch's final slot: the receive-capacity
+  // epoch stamps still carry slot now_-1 state, so charging and duplicate
+  // detection behave exactly as if the delivery had been in that slot's
+  // bucket (DESIGN.md §14 proves protocol-state equivalence).
+  deliver_one(d.received, d);
 }
 
 void Engine::step() {
@@ -152,9 +206,12 @@ void Engine::step() {
       for (DeliveryObserver* obs : observers_) obs->on_drop(drop);
       continue;
     }
+    const Delivery d{.sent = t, .received = arrive, .tx = tx};
+    // Sender-side accounting is complete; a router may now take custody of
+    // a cross-shard delivery (it never enters the local ring).
+    if (options_.router != nullptr && !options_.router->keep(d)) continue;
     if (static_cast<std::size_t>(latency) > ring_.size()) grow_ring(latency);
-    ring_[static_cast<std::size_t>(arrive) & ring_mask_].push_back(
-        Delivery{.sent = t, .received = arrive, .tx = tx});
+    ring_[static_cast<std::size_t>(arrive) & ring_mask_].push_back(d);
   }
 
   // Phase 2: complete arrivals scheduled for this slot.
@@ -162,29 +219,19 @@ void Engine::step() {
   if (!bucket.empty()) {
     for (const Delivery& d : bucket) {
       assert(d.received == t);
-      const auto to = static_cast<std::size_t>(d.tx.to);
-      if (recv_epoch_[to] != t) {
-        recv_epoch_[to] = t;
-        recv_count_[to] = 0;
-      }
-      if (++recv_count_[to] > topology_.recv_capacity(d.tx.to) &&
-          options_.enforce) {
-        violation("receive capacity exceeded", t, d.tx);
-      }
-      if (seen_before(d.tx.to, d.tx.packet)) {
-        ++stats_.duplicate_deliveries;
-        if (options_.forbid_duplicates && options_.enforce) {
-          violation("duplicate delivery", t, d.tx);
-        }
-      }
-      ++stats_.deliveries;
-      for (DeliveryObserver* obs : observers_) obs->on_delivery(d);
-      protocol_.deliver(t, d.tx);
+      deliver_one(t, d);
     }
     bucket.clear();
   }
 
   ++now_;
+}
+
+const EngineStats& Engine::stats() const {
+  stats_.arena_bytes = arena_.bytes_served();
+  stats_.arena_chunks = arena_.chunks();
+  stats_.arena_allocations = arena_.allocations();
+  return stats_;
 }
 
 }  // namespace streamcast::sim

@@ -6,14 +6,21 @@
 namespace streamcast::supertree {
 
 SuperTreeProtocol::SuperTreeProtocol(const net::ClusteredTopology& topology,
-                                     IntraScheme scheme)
+                                     IntraScheme scheme,
+                                     multitree::StreamMode mode,
+                                     ClusterRange range)
     : topology_(topology),
-      backbone_(build_backbone(topology.clusters(), topology.big_d())) {
+      backbone_(build_backbone(topology.clusters(), topology.big_d())),
+      lo_(range.begin),
+      hi_(range.end < 0 ? topology.clusters() : range.end) {
+  if (lo_ < 0 || hi_ > topology.clusters() || lo_ >= hi_) {
+    throw std::invalid_argument("cluster range out of bounds");
+  }
   // Reserve up front: MultiTreeProtocol holds a reference to its cluster's
   // Forest, so ClusterState objects must never relocate after intra
   // construction.
-  clusters_.reserve(static_cast<std::size_t>(topology.clusters()));
-  for (int c = 0; c < topology.clusters(); ++c) {
+  clusters_.reserve(static_cast<std::size_t>(hi_ - lo_));
+  for (int c = lo_; c < hi_; ++c) {
     const NodeKey n = topology.cluster_receivers(c);
     if (n < 1) {
       throw std::invalid_argument("every cluster needs >= 1 receiver");
@@ -35,7 +42,7 @@ SuperTreeProtocol::SuperTreeProtocol(const net::ClusteredTopology& topology,
         key_map[static_cast<std::size_t>(x)] = topology.receiver(c, x);
       }
       slot.intra = std::make_unique<multitree::MultiTreeProtocol>(
-          slot.forest, multitree::StreamMode::kPreRecorded,
+          slot.forest, mode,
           // S'_i may relay packet p in slot t once the backbone delivered
           // it in some earlier slot. `this` and clusters_ outlive intra.
           [this, index](PacketId p, Slot) {
@@ -60,23 +67,28 @@ SuperTreeProtocol::SuperTreeProtocol(const net::ClusteredTopology& topology,
 }
 
 const multitree::Forest& SuperTreeProtocol::forest(int cluster) const {
-  return clusters_[static_cast<std::size_t>(cluster)].forest;
+  assert(cluster >= lo_ && cluster < hi_);
+  return clusters_[static_cast<std::size_t>(cluster - lo_)].forest;
 }
 
 void SuperTreeProtocol::transmit(Slot t, std::vector<Tx>& out) {
-  // Global source: packet t to every depth-1 super node (D sends).
-  for (int c = 0; c < backbone_.clusters(); ++c) {
-    if (backbone_.parent[static_cast<std::size_t>(c)] == -1) {
-      out.push_back(Tx{.from = topology_.source(),
-                       .to = topology_.super_node(c),
-                       .packet = t,
-                       .tag = -1});
+  // Global source: packet t to every depth-1 super node (D sends). The
+  // source node lives with cluster 0's owner; other shards route these
+  // transmissions in at the epoch barrier.
+  if (lo_ == 0) {
+    for (int c = 0; c < backbone_.clusters(); ++c) {
+      if (backbone_.parent[static_cast<std::size_t>(c)] == -1) {
+        out.push_back(Tx{.from = topology_.source(),
+                         .to = topology_.super_node(c),
+                         .packet = t,
+                         .tag = -1});
+      }
     }
   }
   // Super nodes: relay the next pending packet (one per slot) to backbone
   // children (T_c) and the local root (T_i) — at most D sends.
-  for (int c = 0; c < backbone_.clusters(); ++c) {
-    auto& st = clusters_[static_cast<std::size_t>(c)];
+  for (int c = lo_; c < hi_; ++c) {
+    auto& st = clusters_[static_cast<std::size_t>(c - lo_)];
     if (st.super_forwarded >= st.super_received) continue;
     const PacketId p = ++st.super_forwarded;
     for (const int child : backbone_.kids[static_cast<std::size_t>(c)]) {
@@ -96,7 +108,8 @@ void SuperTreeProtocol::transmit(Slot t, std::vector<Tx>& out) {
 
 void SuperTreeProtocol::deliver(Slot t, const Tx& tx) {
   const int c = topology_.cluster_of(tx.to);
-  auto& st = clusters_[static_cast<std::size_t>(c)];
+  assert(c >= lo_ && c < hi_ && "delivery routed to the wrong shard");
+  auto& st = clusters_[static_cast<std::size_t>(c - lo_)];
   if (tx.to == topology_.super_node(c)) {
     assert(tx.packet == st.super_received + 1 && "backbone must be in order");
     st.super_received = tx.packet;

@@ -11,6 +11,13 @@
 //    clusters, using the tree τ": the chain's local clock starts at the
 //    cluster's static backbone offset depth*T_c + T_i, from which point
 //    every injection's packet has provably arrived at S'_i.
+//
+// Sharded execution (DESIGN.md §14): a protocol instance can own just a
+// contiguous half-open range of clusters. It then emits transmissions only
+// for nodes inside its range (the global source belongs to the instance
+// owning cluster 0) and accepts deliveries only for them; the sharded
+// runner routes everything else across the epoch barrier. The default range
+// is all clusters — the serial pump unchanged.
 #pragma once
 
 #include <memory>
@@ -30,19 +37,32 @@ using sim::Tx;
 
 enum class IntraScheme { kMultiTree, kHypercube };
 
+/// Half-open cluster range a protocol instance owns. `end == -1` means
+/// "through the last cluster" — the whole topology by default.
+struct ClusterRange {
+  int begin = 0;
+  int end = -1;
+};
+
 class SuperTreeProtocol final : public sim::Protocol {
  public:
   /// The topology fixes K, D, d, T_c and the per-cluster sizes; multi-tree
   /// forests are built with the greedy construction, hypercube clusters
-  /// with the single-chain decomposition.
-  explicit SuperTreeProtocol(const net::ClusteredTopology& topology,
-                             IntraScheme scheme = IntraScheme::kMultiTree);
+  /// with the single-chain decomposition. `mode` is forwarded to the
+  /// multi-tree intra protocols (kLivePipelined gates injections on packet
+  /// availability at the global clock; hypercube clusters ignore it).
+  explicit SuperTreeProtocol(
+      const net::ClusteredTopology& topology,
+      IntraScheme scheme = IntraScheme::kMultiTree,
+      multitree::StreamMode mode = multitree::StreamMode::kPreRecorded,
+      ClusterRange range = {});
 
   void transmit(Slot t, std::vector<Tx>& out) override;
   void deliver(Slot t, const Tx& tx) override;
 
   const Backbone& backbone() const { return backbone_; }
   /// The cluster's forest (meaningful for kMultiTree; built either way).
+  /// `cluster` must lie in the owned range.
   const multitree::Forest& forest(int cluster) const;
 
  private:
@@ -56,7 +76,9 @@ class SuperTreeProtocol final : public sim::Protocol {
 
   const net::ClusteredTopology& topology_;
   Backbone backbone_;
-  std::vector<ClusterState> clusters_;
+  int lo_ = 0;  // first owned cluster
+  int hi_ = 0;  // one past the last owned cluster
+  std::vector<ClusterState> clusters_;  // owned range only, index c - lo_
 };
 
 }  // namespace streamcast::supertree

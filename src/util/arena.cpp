@@ -1,0 +1,55 @@
+#include "src/util/arena.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace streamcast::util {
+
+Arena::Arena(BudgetLedger* ledger, const char* component,
+             std::size_t chunk_bytes)
+    : ledger_(ledger),
+      component_(component),
+      chunk_bytes_(std::max<std::size_t>(chunk_bytes, 256)) {}
+
+Arena::~Arena() {
+  if (ledger_ != nullptr) {
+    ledger_->release(static_cast<std::size_t>(bytes_reserved_));
+  }
+}
+
+Arena::Chunk& Arena::grow(std::size_t min_bytes) {
+  const std::size_t size = std::max(chunk_bytes_, min_bytes);
+  // Charge before reserving: a budget overrun throws here, with nothing
+  // allocated and the ledger unchanged.
+  if (ledger_ != nullptr) ledger_->charge(component_, size);
+  Chunk chunk;
+  chunk.data = std::make_unique<std::byte[]>(size);
+  chunk.size = size;
+  bytes_reserved_ += static_cast<std::int64_t>(size);
+  chunks_.push_back(std::move(chunk));
+  return chunks_.back();
+}
+
+void* Arena::allocate(std::size_t bytes, std::size_t alignment) {
+  assert(alignment != 0 && (alignment & (alignment - 1)) == 0);
+  if (bytes == 0) bytes = 1;
+  Chunk* chunk = chunks_.empty() ? nullptr : &chunks_.back();
+  std::size_t aligned = 0;
+  if (chunk != nullptr) {
+    aligned = (chunk->used + alignment - 1) & ~(alignment - 1);
+    if (aligned + bytes > chunk->size) chunk = nullptr;
+  }
+  if (chunk == nullptr) {
+    // operator new[] aligns chunk starts to at least alignof(max_align_t),
+    // which covers every alignment a container element needs.
+    chunk = &grow(bytes + alignment);
+    aligned = (chunk->used + alignment - 1) & ~(alignment - 1);
+  }
+  void* p = chunk->data.get() + aligned;
+  ++allocations_;
+  bytes_served_ += static_cast<std::int64_t>(aligned - chunk->used + bytes);
+  chunk->used = aligned + bytes;
+  return p;
+}
+
+}  // namespace streamcast::util

@@ -1,0 +1,18 @@
+// streamcast: hot-path (lint: hot-path-alloc applies to this file)
+//
+// Violating fixture: direct heap traffic in a hot-path-tagged file with no
+// allow marker. Both shapes must be flagged — the raw `new` expression and
+// the std::vector spelling (whose growth reallocates on the global heap).
+#include <vector>
+
+namespace fixture {
+
+int* raw_allocation(int n) { return new int[static_cast<unsigned>(n)]; }
+
+int vector_growth(int n) {
+  std::vector<int> scratch;
+  for (int i = 0; i < n; ++i) scratch.push_back(i);
+  return static_cast<int>(scratch.size());
+}
+
+}  // namespace fixture

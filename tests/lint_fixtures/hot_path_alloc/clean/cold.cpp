@@ -1,0 +1,14 @@
+// Untagged fixture: the hot-path marker comment appears nowhere in this
+// file, so the rule does not apply — ordinary vector use and even raw new
+// stay clean here.
+#include <vector>
+
+namespace fixture {
+
+std::vector<int>* plain_cold_code(int n) {
+  auto* v = new std::vector<int>();
+  for (int i = 0; i < n; ++i) v->push_back(i);
+  return v;
+}
+
+}  // namespace fixture

@@ -1,0 +1,25 @@
+// streamcast: hot-path (lint: hot-path-alloc applies to this file)
+//
+// Clean fixture: a hot-path-tagged file where every allocation is either
+// arena-backed (the alias never spells std::vector) or explicitly allowed
+// — same-line for short declarations, previous-line when the declaration
+// cannot fit an 80-column trailing comment.
+#include <vector>
+
+namespace fixture {
+
+template <typename T>
+using ArenaVector = std::vector<T>;  // lint: allow(hot-path-alloc)
+
+int arena_growth(int n) {
+  ArenaVector<int> scratch;
+  for (int i = 0; i < n; ++i) scratch.push_back(i);
+  return static_cast<int>(scratch.size());
+}
+
+struct ColdState {
+  // lint: allow(hot-path-alloc) — sized once at construction, never grown
+  std::vector<long long> one_shot_construction_time_allocation_table;
+};
+
+}  // namespace fixture

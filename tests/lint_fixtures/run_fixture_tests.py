@@ -96,6 +96,17 @@ def main() -> int:
     expect_clean("sweep capture: named captures stay clean",
                  HERE / "sweep_capture" / "clean")
 
+    # hot-path-alloc: tagged files ban raw new / std::vector spellings.
+    expect_finding("hot-path alloc: raw new flagged in tagged file",
+                   HERE / "hot_path_alloc" / "bad",
+                   "hot-path-alloc", "hot.cpp")
+    code, out = lint_ast([HERE / "hot_path_alloc" / "bad"])
+    check("hot-path alloc: vector spelling also flagged",
+          code == 1 and sum("[hot-path-alloc]" in line
+                            for line in out.splitlines()) >= 2, out)
+    expect_clean("hot-path alloc: arena alias + allow markers stay clean",
+                 HERE / "hot_path_alloc" / "clean")
+
     # layer DAG: upward and same-rank edges, against the real layers.toml.
     expect_finding("layer DAG: upward include flagged",
                    HERE / "layer_dag" / "bad", "layer-dag", "up.hpp")

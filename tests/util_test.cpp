@@ -4,7 +4,9 @@
 #include <set>
 #include <sstream>
 
+#include "src/util/arena.hpp"
 #include "src/util/ascii_tree.hpp"
+#include "src/util/budget.hpp"
 #include "src/util/ints.hpp"
 #include "src/util/prng.hpp"
 #include "src/util/table.hpp"
@@ -133,6 +135,58 @@ TEST(AsciiTree, RendersSmallTree) {
   EXPECT_NE(art.find("0\n"), std::string::npos);
   EXPECT_NE(art.find("+-- 1"), std::string::npos);
   EXPECT_NE(art.find("`-- 2"), std::string::npos);
+}
+
+TEST(Arena, AlignsAndCountsAllocations) {
+  Arena arena;
+  auto* a = static_cast<char*>(arena.allocate(3, 1));
+  auto* b = static_cast<double*>(arena.allocate(sizeof(double), 8));
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % 8, 0u);
+  EXPECT_EQ(arena.allocations(), 2);
+  // 3 bytes, then 5 bytes of padding to reach the 8-byte boundary, then 8.
+  EXPECT_EQ(arena.bytes_served(), 16);
+  EXPECT_EQ(arena.chunks(), 1);
+}
+
+TEST(Arena, OversizedRequestGetsDedicatedChunk) {
+  Arena arena(nullptr, "test", /*chunk_bytes=*/256);
+  arena.allocate(8, 8);
+  EXPECT_EQ(arena.chunks(), 1);
+  auto* big = arena.allocate(4096, 8);
+  ASSERT_NE(big, nullptr);
+  EXPECT_EQ(arena.chunks(), 2);
+  EXPECT_GE(arena.bytes_reserved(), 4096 + 256);
+}
+
+TEST(Arena, ChargesAndReleasesLedger) {
+  BudgetLedger ledger(MemoryBudget{1 << 20});
+  {
+    Arena arena(&ledger, "test", /*chunk_bytes=*/1024);
+    arena.allocate(16, 8);
+    EXPECT_GE(ledger.used(), 1024u);
+  }
+  EXPECT_EQ(ledger.used(), 0u);
+}
+
+TEST(Arena, BudgetOverrunThrowsBeforeAllocating) {
+  BudgetLedger ledger(MemoryBudget{512});
+  Arena arena(&ledger, "test", /*chunk_bytes=*/1024);
+  EXPECT_THROW(arena.allocate(16, 8), BudgetExceeded);
+  EXPECT_EQ(arena.chunks(), 0);
+  EXPECT_EQ(ledger.used(), 0u);
+}
+
+TEST(Arena, VectorGrowsOnArena) {
+  Arena arena;
+  ArenaVector<int> v{ArenaAllocator<int>(arena)};
+  for (int i = 0; i < 1000; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 1000u);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(v[static_cast<std::size_t>(i)], i);
+  EXPECT_GT(arena.allocations(), 0);
+  EXPECT_GE(arena.bytes_served(),
+            static_cast<std::int64_t>(1000 * sizeof(int)));
 }
 
 TEST(AsciiTree, RendersLevels) {

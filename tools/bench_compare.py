@@ -20,8 +20,13 @@ every N the two curves share.
 
 Single-thread baselines: a baseline recorded with ``hardware_threads: 1``
 cannot say anything about parallel speedup (its own speedup is ~1.0 by
-construction). The comparison still runs, but a loud warning is printed and
-any ``warnings`` array embedded in the baseline JSON is echoed.
+construction). When the *current* run also comes from a 1-thread host the
+comparison still runs with a loud warning (like vs like); when the current
+host has more than one hardware thread the stale baseline is a hard
+failure — pass ``--refresh-single-thread-baseline`` to adopt the current
+multi-core run as the new baseline instead of failing (the CI perf job
+does this, self-healing a baseline captured on a 1-core container). Any
+``warnings`` array embedded in the baseline JSON is echoed either way.
 
 Scheme filters: perf_sweep emits the canonical scheme names its grid
 covered as a ``schemes`` array (it accepts ``--schemes=a,b`` to restrict
@@ -68,19 +73,31 @@ def check_ratio(label: str, current: float, baseline: float,
     return []
 
 
-def warn_single_thread_baseline(baseline: dict,
-                                baseline_path: pathlib.Path) -> None:
+def check_single_thread_baseline(current: dict, baseline: dict,
+                                 baseline_path: pathlib.Path) -> list[str]:
+    """1-thread-baseline policy: warning on a 1-thread host, hard failure
+    on a multi-core one (the baseline's ~1.0x speedup would rubber-stamp
+    any parallel regression)."""
     for note in baseline.get("warnings", []):
         print(f"  baseline warning: {note}")
-    if baseline.get("hardware_threads") == 1:
-        print("  " + "!" * 66)
-        print(f"  !! baseline {baseline_path.name} was recorded on a "
-              f"1-thread host.")
-        print("  !! Its parallel speedup (~1.0x) says nothing about "
-              "multi-core scaling;")
-        print("  !! re-baseline with --update on a multi-core host before "
-              "trusting it.")
-        print("  " + "!" * 66)
+    if baseline.get("hardware_threads") != 1:
+        return []
+    cur_threads = current.get("hardware_threads", 1)
+    if cur_threads > 1:
+        return [f"baseline {baseline_path.name} was recorded on a 1-thread "
+                f"host but this host has {cur_threads} hardware threads; "
+                f"its ~1.0x speedup cannot gate multi-core scaling. "
+                f"Re-baseline with --update, or pass "
+                f"--refresh-single-thread-baseline to adopt this run."]
+    print("  " + "!" * 66)
+    print(f"  !! baseline {baseline_path.name} was recorded on a "
+          f"1-thread host.")
+    print("  !! Its parallel speedup (~1.0x) says nothing about "
+          "multi-core scaling;")
+    print("  !! re-baseline with --update on a multi-core host before "
+          "trusting it.")
+    print("  " + "!" * 66)
+    return []
 
 
 def compare_scale(current: dict, baseline: dict, tolerance: float,
@@ -110,6 +127,12 @@ def main() -> int:
                         help="allowed fractional slowdown (default 0.10)")
     parser.add_argument("--update", action="store_true",
                         help="overwrite the baseline with the current run")
+    parser.add_argument("--refresh-single-thread-baseline",
+                        action="store_true",
+                        help="when the baseline was recorded on a 1-thread "
+                             "host and this host is multi-core, adopt the "
+                             "current run as the new baseline and exit 0 "
+                             "instead of failing")
     parser.add_argument("--schemes",
                         help="comma-separated canonical scheme names the "
                              "current run must have covered (validated "
@@ -128,7 +151,15 @@ def main() -> int:
 
     print(f"bench_compare: {args.current} vs {args.baseline} "
           f"(tolerance {args.tolerance:.0%})")
-    warn_single_thread_baseline(baseline, args.baseline)
+    stale = check_single_thread_baseline(current, baseline, args.baseline)
+    if stale:
+        if args.refresh_single_thread_baseline:
+            shutil.copyfile(args.current, args.baseline)
+            print(f"bench_compare: 1-thread baseline {args.baseline} "
+                  f"refreshed with this multi-core run "
+                  f"(hardware_threads: {current.get('hardware_threads')})")
+            return 0
+        failures += stale
 
     if "curve" in current or "curve" in baseline:
         if ("curve" in current) != ("curve" in baseline):

@@ -23,6 +23,15 @@ This lint closes those holes by looking at what names *mean*:
                A == B or B's rank is strictly lower. Same-rank modules are
                mutually off limits; a src/ module absent from layers.toml
                is itself a finding.
+  hot-path-alloc — a direct heap allocation in a file tagged as engine hot
+               path (a comment containing `streamcast: hot-path`): any
+               `new` expression or `std::vector<` spelling. Hot-path
+               containers live on the per-engine util::Arena
+               (util::ArenaVector); cold-path members that allocate once at
+               construction carry a suppression. Uniquely for this rule the
+               suppression may sit on the line ABOVE the declaration
+               (long member declarations cannot fit an 80-column trailing
+               comment).
 
 Engines (--engine auto|clang|builtin, default auto):
 
@@ -35,7 +44,8 @@ Engines (--engine auto|clang|builtin, default auto):
              engine; `auto` picks clang when importable and prints a
              visible warning when it has to fall back.
 
-The layer-dag rule is textual (include lines) and runs under both engines.
+The layer-dag and hot-path-alloc rules are textual and run under both
+engines.
 
 Suppress a deliberate use with a same-line comment:  // lint: allow(<rule>)
 
@@ -185,6 +195,33 @@ def check_layers(src: Source, rank, overrides) -> list[Finding]:
                  f"'{me}' (rank {rank[me]}) must not include '{target}' "
                  f"(rank {rank[target]}): edges go strictly down the DAG")
             )
+    return findings
+
+
+# --------------------------------------------------------------------------
+# hot-path-alloc (textual; both engines)
+# --------------------------------------------------------------------------
+
+HOT_PATH_TAG = re.compile(r"streamcast:\s*hot-path")
+HOT_ALLOC = re.compile(r"\bnew\b|\bstd::vector\s*<")
+
+
+def check_hot_path_alloc(src: Source) -> list[Finding]:
+    """In files carrying the hot-path tag, every `new` expression and every
+    `std::vector<` spelling needs an explicit allow — the hot path
+    allocates through the engine arena (util::ArenaVector), and anything
+    else must be visibly declared cold."""
+    if not any(HOT_PATH_TAG.search(line) for line in src.raw_lines):
+        return []
+    findings: list[Finding] = []
+    for lineno, line in enumerate(src.code_lines, start=1):
+        if not HOT_ALLOC.search(line):
+            continue
+        if (src.allowed(lineno, "hot-path-alloc")
+                or src.allowed(lineno - 1, "hot-path-alloc")):
+            continue
+        findings.append(
+            (src.path, lineno, "hot-path-alloc", src.snippet(lineno)))
     return findings
 
 
@@ -515,6 +552,9 @@ def main(argv: list[str]) -> int:
         findings = run_clang(ci, sources)
     else:
         findings = run_builtin(sources)
+
+    for src in sources:
+        findings.extend(check_hot_path_alloc(src))
 
     if not args.no_layers:
         layers_path = Path(args.layers)
