@@ -8,6 +8,7 @@
 #include "src/loss/model.hpp"
 #include "src/loss/recovery.hpp"
 #include "src/multitree/protocol.hpp"
+#include "src/policy/startup.hpp"
 #include "src/scale/options.hpp"
 #include "src/sim/packet.hpp"
 
@@ -54,6 +55,13 @@ struct LossConfig {
   std::uint64_t seed = 0x5eed;
   /// How gaps are repaired (see loss::RecoveryProtocol).
   loss::RecoveryMode recovery = loss::RecoveryMode::kNack;
+  /// Recovery policy registry entry (policy::recovery_policies()): "none",
+  /// "nack", "xor-parity", or "streaming-code". Empty routes through the
+  /// legacy `recovery` enum above.
+  std::string recovery_policy{};
+  /// Badr–Lui–Khisti streaming-code parameters (recovery_policy ==
+  /// "streaming-code"): decode delay T and correctable burst B.
+  policy::StreamingCodeOptions code{};
   /// Data packets per XOR parity packet (recovery == kFec).
   int fec_window = 8;
   /// Capacity headroom for repair traffic on top of the paper's exactly-
@@ -109,6 +117,13 @@ struct SessionConfig {
 
   // --- lossy links (clusters == 1 only) ------------------------------------
   LossConfig loss{};
+
+  /// Playback startup policy for the continuity metrics (DESIGN.md §15):
+  /// when playback starts at each receiver. The default ("fixed") is the
+  /// historical behavior — LossConfig::playback_start, else the run's
+  /// worst playback delay — and is byte-identical to the pre-policy
+  /// pipeline.
+  policy::StartupOptions startup{};
 
   /// Million-node scale path (DESIGN.md §11): thresholds for the streaming
   /// recorder stack and the closed-form schedule replay, sketch accuracy,

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <set>
 #include <stdexcept>
 
 #include "src/metrics/buffers.hpp"
+#include "src/policy/registry.hpp"
 #include "src/scale/sketch.hpp"
 
 namespace streamcast::core {
@@ -66,6 +68,10 @@ void ObserverStack::attach(sim::Engine& engine,
   if (recovery == nullptr) {
     engine.add_observer(*delay_obs);
     engine.add_observer(*neighbor_obs);
+    // Reliable startup runs: the continuity recorder watches the engine
+    // directly (there is no recovery layer to observe). Historical lossless
+    // paths never request continuity, so their wiring is unchanged.
+    if (continuity_) engine.add_observer(*continuity_);
   }
   if (auditor_) engine.add_observer(*auditor_);
   if (recovery != nullptr) {
@@ -104,9 +110,13 @@ RunPipeline::RunPipeline(net::Topology& topology, sim::Protocol& protocol,
 void RunPipeline::run(Slot horizon, DrainPolicy drain) {
   engine_.run_until(horizon);
   if (recovery_ != nullptr && drain.max_drain > 0) {
-    // Drain: keep simulating in small chunks until every receiver's
-    // gap-free prefix covers the window, or the drain budget runs out.
-    while (!recovery_->all_gap_free(drain.from, drain.to, window_) &&
+    // Drain: keep simulating in small chunks until every window packet at
+    // every receiver has a decided fate — arrived, or abandoned by a
+    // delay-bounded policy that declared it unrecoverable — or the drain
+    // budget runs out. Legacy policies never abandon, so for them the
+    // predicate degenerates to all_gap_free and the drain behavior is
+    // byte-identical to the historical loop.
+    while (!recovery_->gaps_resolved(drain.from, drain.to, window_) &&
            drained_ < drain.max_drain) {
       const Slot chunk = std::min<Slot>(32, drain.max_drain - drained_);
       drained_ += chunk;
@@ -215,8 +225,41 @@ QosReport RunPipeline::aggregate(const Aggregation& agg, NodeKey* incomplete,
   return aggregate_qos(agg, in, incomplete, summary);
 }
 
-LossSummary RunPipeline::loss_summary(const LossConfig& loss, NodeKey from,
-                                      NodeKey to, Slot worst_delay) const {
+namespace {
+
+/// The per-receiver view a startup policy decides from. `replay` probes
+/// the continuity recorder at candidate start slots; the closure borrows
+/// the recorder, so the context must not outlive this call stack.
+policy::StartupContext make_startup_context(
+    const metrics::ContinuityRecorder& continuity, NodeKey node,
+    PacketId window, Slot end, Slot worst_delay, Slot fixed_start,
+    std::int64_t drops) {
+  policy::StartupContext ctx;
+  ctx.window = window;
+  ctx.horizon = end;
+  ctx.worst_delay = worst_delay;
+  ctx.fixed_start = fixed_start;
+  const Slot first = continuity.first_arrival(node);
+  ctx.first_arrival = first == metrics::kNeverArrived ? end : first;
+  ctx.drops = drops;
+  ctx.deliveries = continuity.data_deliveries();
+  ctx.replay = [&continuity, node, end](Slot start) {
+    const auto r = continuity.report(node, start, end);
+    return policy::PlaybackProbe{.stalls = r.stalls,
+                                 .stall_slots = r.stall_slots,
+                                 .undecodable = r.undecodable,
+                                 .finish_slot = r.finish_slot};
+  };
+  return ctx;
+}
+
+}  // namespace
+
+LossSummary RunPipeline::loss_summary(const LossConfig& loss,
+                                      const policy::StartupPolicy& startup,
+                                      NodeKey from, NodeKey to,
+                                      Slot worst_delay,
+                                      StartupSummary* startup_out) const {
   if (recovery_ == nullptr) {
     throw std::logic_error("loss_summary requires the lossy wiring");
   }
@@ -231,17 +274,65 @@ LossSummary RunPipeline::loss_summary(const LossConfig& loss, NodeKey from,
   summary.redundancy_overhead = rs.redundancy_overhead();
   summary.all_gap_free = recovery_->all_gap_free(from, to, window_);
   summary.drain_slots = drained_;
+  summary.max_erasure_run = rs.max_erasure_run;
+  summary.guard_collisions = rs.guard_collisions;
+  summary.unrecoverable = rs.unrecoverable;
 
   const metrics::ContinuityRecorder* continuity = observers_.continuity();
   if (continuity != nullptr) {
-    const Slot playback_start =
-        loss.playback_start >= 0 ? loss.playback_start : worst_delay;
+    if (startup_out != nullptr) {
+      *startup_out = startup_summary(startup, loss.playback_start, from, to,
+                                     worst_delay);
+    }
     for (NodeKey x = from; x <= to; ++x) {
-      const auto cr = continuity->report(x, playback_start, end_);
+      const policy::StartupContext ctx =
+          make_startup_context(*continuity, x, window_, end_, worst_delay,
+                               loss.playback_start, engine_.stats().drops);
+      const auto cr = continuity->report(x, startup.start_slot(ctx), end_);
       summary.stalls = std::max(summary.stalls, cr.stalls);
       summary.stall_slots = std::max(summary.stall_slots, cr.stall_slots);
       summary.undecodable += cr.undecodable;
     }
+  }
+  return summary;
+}
+
+LossSummary RunPipeline::loss_summary(const LossConfig& loss, NodeKey from,
+                                      NodeKey to, Slot worst_delay) const {
+  const std::unique_ptr<policy::StartupPolicy> fixed =
+      policy::startup_policy("fixed").make(policy::StartupOptions{});
+  return loss_summary(loss, *fixed, from, to, worst_delay);
+}
+
+StartupSummary RunPipeline::startup_summary(
+    const policy::StartupPolicy& startup, Slot fixed_start, NodeKey from,
+    NodeKey to, Slot worst_delay) const {
+  const metrics::ContinuityRecorder* continuity = observers_.continuity();
+  if (continuity == nullptr) {
+    throw std::logic_error("startup_summary requires a continuity recorder");
+  }
+  StartupSummary summary;
+  summary.policy = startup.name();
+  double start_sum = 0;
+  NodeKey count = 0;
+  summary.earliest_start = end_;
+  for (NodeKey x = from; x <= to; ++x) {
+    const policy::StartupContext ctx =
+        make_startup_context(*continuity, x, window_, end_, worst_delay,
+                             fixed_start, engine_.stats().drops);
+    const Slot start = startup.start_slot(ctx);
+    const auto cr = continuity->report(x, start, end_);
+    summary.max_start = std::max(summary.max_start, start);
+    summary.earliest_start = std::min(summary.earliest_start, start);
+    start_sum += static_cast<double>(start);
+    ++count;
+    summary.stalls = std::max(summary.stalls, cr.stalls);
+    summary.stall_slots = std::max(summary.stall_slots, cr.stall_slots);
+    summary.undecodable += cr.undecodable;
+    summary.max_finish = std::max(summary.max_finish, cr.finish_slot);
+  }
+  if (count > 0) {
+    summary.average_start = start_sum / static_cast<double>(count);
   }
   return summary;
 }

@@ -38,6 +38,7 @@
 #include "src/metrics/continuity.hpp"
 #include "src/metrics/delay.hpp"
 #include "src/metrics/neighbors.hpp"
+#include "src/policy/startup.hpp"
 #include "src/scale/recorder.hpp"
 #include "src/sim/engine.hpp"
 #include "src/sim/trace.hpp"
@@ -190,9 +191,26 @@ class RunPipeline {
                       scale::ScaleSummary* summary = nullptr) const;
 
   /// Folds recovery-layer stats and the continuity report over receivers
-  /// [from, to] into a LossSummary. Requires the lossy wiring.
+  /// [from, to] into a LossSummary, replaying playback from the slot the
+  /// startup policy picks per receiver. Requires the lossy wiring.
+  /// `startup_out`, when given, additionally receives the startup fold
+  /// (chosen starts, stalls from them, finish slots).
+  LossSummary loss_summary(const LossConfig& loss,
+                           const policy::StartupPolicy& startup, NodeKey from,
+                           NodeKey to, Slot worst_delay,
+                           StartupSummary* startup_out = nullptr) const;
+
+  /// Historical spelling: the fixed startup policy (the configured
+  /// playback_start slot, else the worst delay).
   LossSummary loss_summary(const LossConfig& loss, NodeKey from, NodeKey to,
                            Slot worst_delay) const;
+
+  /// The startup fold alone, for reliable runs observed with a continuity
+  /// recorder (ObserverSpec::continuity on a lossless pipeline). Requires
+  /// the continuity recorder.
+  StartupSummary startup_summary(const policy::StartupPolicy& startup,
+                                 Slot fixed_start, NodeKey from, NodeKey to,
+                                 Slot worst_delay) const;
 
   ObserverStack& observers() { return observers_; }
   const ObserverStack& observers() const { return observers_; }

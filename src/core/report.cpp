@@ -65,4 +65,14 @@ std::string serialize(const LossRunResult& r) {
   return os.str();
 }
 
+std::string serialize(const StartupSummary& s) {
+  std::ostringstream os;
+  os << "startup policy=" << s.policy << " max_start=" << s.max_start
+     << " average_start=" << fp(s.average_start)
+     << " earliest_start=" << s.earliest_start << " stalls=" << s.stalls
+     << " stall_slots=" << s.stall_slots << " undecodable=" << s.undecodable
+     << " max_finish=" << s.max_finish;
+  return os.str();
+}
+
 }  // namespace streamcast::core

@@ -57,11 +57,46 @@ struct LossSummary {
   /// Receivers whose measurement window stayed incomplete (excluded from
   /// the delay/buffer aggregates).
   sim::NodeKey incomplete_nodes = 0;
+  /// Streaming-code channel health (zero under other policies): longest
+  /// per-link erasure run, guard-space collisions, and data uses declared
+  /// unrecoverable. Not part of serialize() — the golden byte contract
+  /// predates the policy layer.
+  std::int64_t max_erasure_run = 0;
+  std::int64_t guard_collisions = 0;
+  std::int64_t unrecoverable = 0;
+};
+
+/// Per-run outcome of the startup policy (DESIGN.md §15): where playback
+/// started across receivers and how smooth it was from there.
+struct StartupSummary {
+  std::string policy;
+  sim::Slot max_start = 0;
+  double average_start = 0;
+  sim::Slot earliest_start = 0;
+  /// Worst per-receiver stall count / stalled slots from the chosen
+  /// starts.
+  int stalls = 0;
+  sim::Slot stall_slots = 0;
+  /// Window packets (summed over receivers) never delivered by the
+  /// horizon.
+  sim::PacketId undecodable = 0;
+  /// Latest slot any receiver finished playback.
+  sim::Slot max_finish = 0;
 };
 
 struct LossRunResult {
   QosReport qos;
   LossSummary loss;
+  StartupSummary startup;
+};
+
+/// Startup-policy run outcome (StreamingSession::run_startup): the usual
+/// QoS report plus the startup fold; `loss` is meaningful only when the
+/// run was lossy.
+struct StartupRunResult {
+  QosReport qos;
+  LossSummary loss;
+  StartupSummary startup;
 };
 
 /// Canonical byte-exact rendering of every report field (doubles at 17
@@ -70,5 +105,6 @@ struct LossRunResult {
 /// LossRunResult.
 std::string serialize(const QosReport& r);
 std::string serialize(const LossRunResult& r);
+std::string serialize(const StartupSummary& s);
 
 }  // namespace streamcast::core

@@ -3,12 +3,14 @@
 #include <memory>
 #include <numeric>
 #include <stdexcept>
+#include <string_view>
 #include <vector>
 
 #include "src/core/pipeline.hpp"
 #include "src/core/shard.hpp"
 #include "src/loss/model.hpp"
 #include "src/loss/recovery.hpp"
+#include "src/policy/registry.hpp"
 #include "src/scale/replay.hpp"
 #include "src/scheme/registry.hpp"
 
@@ -37,6 +39,23 @@ StreamingSession::StreamingSession(SessionConfig config)
   if (config_.loss.extra_send < 0 || config_.loss.extra_recv < 0) {
     throw std::invalid_argument("negative capacity headroom");
   }
+  if (config_.loss.code.decode_delay < 1 || config_.loss.code.burst < 1) {
+    throw std::invalid_argument("streaming-code parameters must be >= 1");
+  }
+  // Both policy names resolve through the registries (throwing on unknown
+  // names), and the scheme x recovery combination is validated against the
+  // capability flags — never by switching on the policy name.
+  const policy::RecoveryPolicyDescriptor& rd = policy::recovery_policy(
+      config_.loss.recovery_policy.empty()
+          ? std::string_view(policy::recovery_policy_name(config_.loss.recovery))
+          : std::string_view(config_.loss.recovery_policy));
+  if (rd.caps.bounded_recovery &&
+      !scheme::descriptor(config_.scheme).caps.bounded_recovery_policies) {
+    throw std::invalid_argument(
+        "delay-bounded recovery needs link-visible losses; demand-driven "
+        "schemes produce silent gaps it cannot close");
+  }
+  policy::startup_policy(config_.startup.policy);
 }
 
 namespace {
@@ -60,9 +79,12 @@ QosReport run_multicluster(const SessionConfig& config) {
 }
 
 /// Reliable single-cluster run through the pipeline. `summary`, when given,
-/// receives the sketched distributions (any recorder stack).
-QosReport run_reliable(const SessionConfig& config,
-                       scale::ScaleSummary* summary) {
+/// receives the sketched distributions (any recorder stack). `startup`, when
+/// given, additionally attaches a continuity recorder and folds the startup
+/// summary into `startup_out` (run_startup's lossless path).
+QosReport run_reliable(const SessionConfig& config, scale::ScaleSummary* summary,
+                       const policy::StartupPolicy* startup = nullptr,
+                       StartupSummary* startup_out = nullptr) {
   const NodeKey n = config.n;
 
   scheme::Overlay overlay = scheme::descriptor(config.scheme).build(config);
@@ -70,6 +92,7 @@ QosReport run_reliable(const SessionConfig& config,
   ObserverSpec spec;
   spec.window = overlay.window;
   spec.node_span = n + 1;
+  spec.continuity = startup != nullptr;
   spec.audit = config.audit;
   if (config.audit) {
     spec.audit_options = scheme::audit_envelope(config, overlay.window);
@@ -78,11 +101,16 @@ QosReport run_reliable(const SessionConfig& config,
 
   RunPipeline pipeline(*overlay.topology, *overlay.protocol, spec);
   pipeline.run(overlay.window + overlay.slack);
-  return pipeline.aggregate({.label = scheme_label(config.scheme),
-                             .report_n = n,
-                             .d = config.d,
-                             .receivers = cluster_receivers(n)},
-                            nullptr, summary);
+  QosReport report = pipeline.aggregate({.label = scheme_label(config.scheme),
+                                         .report_n = n,
+                                         .d = config.d,
+                                         .receivers = cluster_receivers(n)},
+                                        nullptr, summary);
+  if (startup != nullptr && startup_out != nullptr) {
+    *startup_out = pipeline.startup_summary(
+        *startup, config.loss.playback_start, 1, n, report.worst_delay);
+  }
+  return report;
 }
 
 /// Closed-form schedule replay (DESIGN.md §11): the QosReport the pipeline
@@ -121,6 +149,11 @@ bool StreamingSession::replay_eligible(const SessionConfig& config) {
   if (!scheme::descriptor(config.scheme).caps.closed_form_replay) return false;
   if (config.mode == multitree::StreamMode::kLivePipelined) return false;
   if (config.window > 0 && config.window < config.d) return false;
+  // Adaptive startup decides from the run's own observations (first
+  // arrivals, loss fraction, replay probes); the closed form has none.
+  if (policy::startup_policy(config.startup.policy).caps.adaptive) {
+    return false;
+  }
   return true;
 }
 
@@ -173,7 +206,9 @@ LossRunResult StreamingSession::run_lossy() const {
 
   loss::RecoveryOptions opts;
   opts.mode = lc.recovery;
+  opts.policy = lc.recovery_policy;
   opts.fec_window = lc.fec_window;
+  opts.code = lc.code;
   // Every packet id flows over every link only in the newest-only
   // forwarders; elsewhere id jumps per link are part of the schedule.
   opts.dense_links = desc.caps.dense_links;
@@ -216,8 +251,29 @@ LossRunResult StreamingSession::run_lossy() const {
                                    .receivers = cluster_receivers(n),
                                    .skip_incomplete = true},
                                   &incomplete);
-  result.loss = pipeline.loss_summary(lc, 1, n, result.qos.worst_delay);
+  const std::unique_ptr<policy::StartupPolicy> startup =
+      policy::startup_policy(config_.startup.policy).make(config_.startup);
+  result.loss = pipeline.loss_summary(lc, *startup, 1, n,
+                                      result.qos.worst_delay, &result.startup);
   result.loss.incomplete_nodes = incomplete;
+  return result;
+}
+
+StartupRunResult StreamingSession::run_startup() const {
+  if (config_.clusters > 1) {
+    throw std::invalid_argument("run_startup requires clusters == 1");
+  }
+  StartupRunResult result;
+  if (config_.loss.model != loss::ErasureKind::kNone) {
+    LossRunResult lossy = run_lossy();
+    result.qos = lossy.qos;
+    result.loss = lossy.loss;
+    result.startup = lossy.startup;
+    return result;
+  }
+  const std::unique_ptr<policy::StartupPolicy> startup =
+      policy::startup_policy(config_.startup.policy).make(config_.startup);
+  result.qos = run_reliable(config_, nullptr, startup.get(), &result.startup);
   return result;
 }
 

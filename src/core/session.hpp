@@ -60,8 +60,15 @@ class StreamingSession {
   /// Lossy run (valid for any LossConfig, including kNone): wraps the scheme
   /// in loss::RecoveryProtocol over a net::ProvisionedTopology, attaches the
   /// configured erasure model, drains until every receiver's prefix is
-  /// gap-free (or max_drain), and reports both QoS and loss metrics.
+  /// gap-free (or max_drain), and reports QoS, loss, and startup metrics
+  /// (the latter from config.startup — DESIGN.md §15).
   LossRunResult run_lossy() const;
+
+  /// Startup-policy run for any single-cluster config: lossy configs go
+  /// through run_lossy(); reliable configs simulate with a continuity
+  /// recorder attached (never the closed-form replay — adaptive startup
+  /// decides from observed arrivals) and fold only the startup summary.
+  StartupRunResult run_startup() const;
 
   const SessionConfig& config() const { return config_; }
 

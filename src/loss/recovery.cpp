@@ -4,6 +4,8 @@
 #include <cassert>
 #include <utility>
 
+#include "src/policy/registry.hpp"
+
 namespace streamcast::loss {
 
 namespace {
@@ -13,30 +15,7 @@ std::uint64_t flight_key(NodeKey to, PacketId p) {
          static_cast<std::uint64_t>(p);
 }
 
-/// Cap on how many skipped ids one transmission may open for repair; a dense
-/// scheme advances one id per slot per link, so anything near this bound
-/// would indicate a mis-flagged strided scheme.
-constexpr PacketId kMaxSkipRange = 4096;
-
 }  // namespace
-
-const char* recovery_mode_name(RecoveryMode m) {
-  switch (m) {
-    case RecoveryMode::kNone:
-      return "none";
-    case RecoveryMode::kNack:
-      return "nack";
-    case RecoveryMode::kFec:
-      return "fec";
-  }
-  return "?";
-}
-
-double RecoveryStats::redundancy_overhead() const {
-  if (data_transmissions == 0) return 0.0;
-  return static_cast<double>(retransmissions + parity_transmissions) /
-         static_cast<double>(data_transmissions);
-}
 
 void SequenceTracker::mark(PacketId p) {
   if (p < next_) return;
@@ -51,6 +30,16 @@ void SequenceTracker::mark(PacketId p) {
   ahead_.insert(p);
 }
 
+void SequenceTracker::start_at(PacketId p) {
+  if (p <= next_) return;
+  next_ = p;
+  ahead_.erase(ahead_.begin(), ahead_.lower_bound(next_));
+  while (!ahead_.empty() && *ahead_.begin() == next_) {
+    ahead_.erase(ahead_.begin());
+    ++next_;
+  }
+}
+
 RecoveryProtocol::RecoveryProtocol(const net::Topology& topology,
                                    sim::Protocol& inner,
                                    RecoveryOptions options)
@@ -58,14 +47,46 @@ RecoveryProtocol::RecoveryProtocol(const net::Topology& topology,
   const auto n = static_cast<std::size_t>(topology_.size());
   trackers_.resize(n);
   senders_seen_.resize(n);
-  unresolved_.resize(n);
   send_used_.resize(n);
   if (options_.fec_window < 1) options_.fec_window = 1;
+
+  policy::RecoveryPolicyOptions po;
+  po.fec_window = options_.fec_window;
+  po.nack_delay = options_.nack_delay;
+  po.dense_links = options_.dense_links;
+  po.gap_timeout = options_.gap_timeout;
+  po.sweep_tag = options_.sweep_tag;
+  po.repair_horizon = options_.repair_horizon;
+  po.source = options_.source;
+  po.code = options_.code;
+  const std::string name = options_.policy.empty()
+                               ? policy::recovery_policy_name(options_.mode)
+                               : options_.policy;
+  policy_ = policy::recovery_policy(name).make(po);
+  policy_->bind(*this);
+}
+
+NodeKey RecoveryProtocol::node_count() const { return topology_.size(); }
+
+Slot RecoveryProtocol::link_latency(NodeKey from, NodeKey to) const {
+  return topology_.latency(from, to);
 }
 
 bool RecoveryProtocol::holds(NodeKey node, PacketId p) const {
   if (node == options_.source) return true;
   return trackers_[static_cast<std::size_t>(node)].has(p);
+}
+
+bool RecoveryProtocol::has_arrived(NodeKey node, PacketId p) const {
+  return trackers_[static_cast<std::size_t>(node)].has(p);
+}
+
+PacketId RecoveryProtocol::gap_free_prefix(NodeKey node) const {
+  return trackers_[static_cast<std::size_t>(node)].gap_free_prefix();
+}
+
+const std::set<PacketId>& RecoveryProtocol::ahead(NodeKey node) const {
+  return trackers_[static_cast<std::size_t>(node)].ahead();
 }
 
 bool RecoveryProtocol::in_flight(NodeKey to, PacketId p) const {
@@ -80,26 +101,6 @@ void RecoveryProtocol::set_in_flight(NodeKey to, PacketId p, bool value) {
   }
 }
 
-Slot RecoveryProtocol::nack_due(Slot detect_slot, NodeKey from,
-                                NodeKey to) const {
-  // The receiver notices the gap in `detect_slot`, NACKs the sender (one
-  // reverse-link trip), and the repair may leave the following slot.
-  return detect_slot + topology_.latency(to, from) + 1 + options_.nack_delay;
-}
-
-void RecoveryProtocol::schedule_repair(NodeKey to, PacketId p, NodeKey sender,
-                                       std::int32_t tag, Slot due) {
-  auto [it, inserted] = pending_.try_emplace(
-      {to, p}, Repair{.sender = sender, .tag = tag, .due = due});
-  if (!inserted) {
-    // A repair for this gap was already pending (e.g. the repair itself was
-    // dropped): refresh it.
-    it->second.due = due;
-    it->second.in_flight = false;
-  }
-  ++stats_.nacks;
-}
-
 void RecoveryProtocol::mark_outstanding(NodeKey to, std::int32_t tag,
                                         PacketId p) {
   if (trackers_[static_cast<std::size_t>(to)].has(p)) return;
@@ -109,23 +110,31 @@ void RecoveryProtocol::mark_outstanding(NodeKey to, std::int32_t tag,
   outstanding_[{to, tag}].insert(p);
 }
 
-void RecoveryProtocol::detect_dense_skips(Slot t, const Tx& tx) {
-  // On a dense link the very first emission is id 0 on a lossless run, so an
-  // absent entry is baseline -1: a first emission of id > 0 means the ids
-  // below it were lost upstream before this link ever carried them.
-  const auto it = last_emitted_.find({tx.from, tx.to});
-  const PacketId last = it == last_emitted_.end() ? -1 : it->second;
-  if (tx.packet <= last + 1) return;
-  const PacketId lo = std::max(last + 1, tx.packet - kMaxSkipRange);
-  for (PacketId g = lo; g < tx.packet; ++g) {
-    if (trackers_[static_cast<std::size_t>(tx.to)].has(g)) continue;
-    if (in_flight(tx.to, g)) continue;
-    if (pending_.contains({tx.to, g})) continue;
-    mark_outstanding(tx.to, tx.tag, g);
-    schedule_repair(tx.to, g, tx.from, tx.tag,
-                    nack_due(t + topology_.latency(tx.from, tx.to) - 1,
-                             tx.from, tx.to));
-  }
+void RecoveryProtocol::abandon_gap(Slot t, NodeKey to, PacketId p) {
+  abandoned_.insert(flight_key(to, p));
+  const auto out_it = outstanding_tag_.find({to, p});
+  if (out_it == outstanding_tag_.end()) return;
+  const std::int32_t tag = out_it->second;
+  auto& set = outstanding_[{to, tag}];
+  set.erase(p);
+  if (set.empty()) outstanding_.erase({to, tag});
+  outstanding_tag_.erase(out_it);
+  // The packet itself is never delivered — the continuity metrics report it
+  // as an undecodable gap — but whatever it was holding back flows again.
+  flush_held_back(t, to, tag);
+}
+
+const std::vector<NodeKey>& RecoveryProtocol::senders_seen(NodeKey to) const {
+  return senders_seen_[static_cast<std::size_t>(to)];
+}
+
+bool RecoveryProtocol::send_available(NodeKey from) const {
+  return send_used_[static_cast<std::size_t>(from)] <
+         topology_.send_capacity(from);
+}
+
+void RecoveryProtocol::use_send(NodeKey from) {
+  ++send_used_[static_cast<std::size_t>(from)];
 }
 
 bool RecoveryProtocol::recv_headroom(Slot arrive, NodeKey to) const {
@@ -147,6 +156,16 @@ void RecoveryProtocol::note_planned_arrival(Slot arrive, NodeKey to) {
   ++it->second[static_cast<std::size_t>(to)];
 }
 
+void RecoveryProtocol::ingest_decoded(Slot t, const Tx& tx) {
+  const sim::Delivery synthetic{.sent = t, .received = t, .tx = tx};
+  for (sim::DeliveryObserver* obs : observers_) obs->on_delivery(synthetic);
+  ingest_data(t, tx);
+}
+
+void RecoveryProtocol::seat(NodeKey node, PacketId live_edge) {
+  trackers_[static_cast<std::size_t>(node)].start_at(live_edge);
+}
+
 void RecoveryProtocol::transmit(Slot t, std::vector<Tx>& out) {
   inner_scratch_.clear();
   inner_.transmit(t, inner_scratch_);
@@ -159,20 +178,10 @@ void RecoveryProtocol::transmit(Slot t, std::vector<Tx>& out) {
     assert(tx.packet < sim::kControlIdBase);
     if (!holds(tx.from, tx.packet)) {
       // Causality violation: the lossless schedule assumed this packet had
-      // arrived at the sender. Suppress, and repair the downstream gap once
-      // the sender (or anyone else) holds it.
+      // arrived at the sender. Suppress; the policy repairs the downstream
+      // gap once the sender (or anyone else) holds it.
       ++stats_.suppressed_causal;
-      auto& last = last_emitted_[{tx.from, tx.to}];
-      last = std::max(last, tx.packet);
-      if (options_.mode == RecoveryMode::kNack && !holds(tx.to, tx.packet) &&
-          !pending_.contains({tx.to, tx.packet})) {
-        mark_outstanding(tx.to, tx.tag, tx.packet);
-        schedule_repair(tx.to, tx.packet, tx.from, tx.tag,
-                        nack_due(t + topology_.latency(tx.from, tx.to) - 1,
-                                 tx.from, tx.to));
-      } else if (options_.mode != RecoveryMode::kNack) {
-        mark_outstanding(tx.to, tx.tag, tx.packet);
-      }
+      policy_->on_suppressed_causal(*this, t, tx);
       continue;
     }
     if (holds(tx.to, tx.packet) || in_flight(tx.to, tx.packet)) {
@@ -180,153 +189,36 @@ void RecoveryProtocol::transmit(Slot t, std::vector<Tx>& out) {
       // twice, or a repair already on its way). Suppressing keeps the
       // duplicate-free engine invariant and frees the slot for repairs.
       ++stats_.suppressed_redundant;
-      auto& last = last_emitted_[{tx.from, tx.to}];
-      last = std::max(last, tx.packet);
+      policy_->on_suppressed_redundant(*this, t, tx);
       continue;
     }
-    if (options_.dense_links && options_.mode == RecoveryMode::kNack) {
-      detect_dense_skips(t, tx);
-    }
-    auto& last = last_emitted_[{tx.from, tx.to}];
-    last = std::max(last, tx.packet);
+    policy_->on_data_emitted(*this, t, tx);
     out.push_back(tx);
     ++send_used_[static_cast<std::size_t>(tx.from)];
     note_planned_arrival(t + topology_.latency(tx.from, tx.to) - 1, tx.to);
     set_in_flight(tx.to, tx.packet, true);
     ++stats_.data_transmissions;
-    if (options_.mode == RecoveryMode::kFec) fec_accumulate(tx);
   }
 
-  if (options_.mode == RecoveryMode::kNack) {
-    if (options_.gap_timeout >= 0) sweep_aged_gaps(t);
-    emit_repairs(t, out);
-  }
-  if (options_.mode == RecoveryMode::kFec) emit_parity(t, out);
-}
-
-void RecoveryProtocol::sweep_aged_gaps(Slot t) {
-  const auto size = static_cast<NodeKey>(trackers_.size());
-  for (NodeKey v = 0; v < size; ++v) {
-    if (v == options_.source) continue;
-    const SequenceTracker& tracker = trackers_[static_cast<std::size_t>(v)];
-    if (tracker.ahead().empty()) continue;
-    PacketId expected = tracker.gap_free_prefix();
-    for (const PacketId a : tracker.ahead()) {
-      for (PacketId g = expected; g < a; ++g) {
-        const auto key = std::make_pair(v, g);
-        const auto [it, first_seen] = gap_seen_.try_emplace(key, t);
-        if (first_seen) continue;
-        if (t - it->second < options_.gap_timeout) continue;
-        if (in_flight(v, g) || pending_.contains(key)) continue;
-        mark_outstanding(v, /*tag=*/0, g);
-        schedule_repair(v, g, options_.source, /*tag=*/0, t);
-      }
-      expected = a + 1;
-    }
-  }
-}
-
-void RecoveryProtocol::emit_repairs(Slot t, std::vector<Tx>& out) {
-  for (auto it = pending_.begin(); it != pending_.end();) {
-    const auto [to, packet] = it->first;
-    Repair& repair = it->second;
-    if (trackers_[static_cast<std::size_t>(to)].has(packet)) {
-      it = pending_.erase(it);
-      continue;
-    }
-    if (repair.in_flight || repair.due > t || in_flight(to, packet)) {
-      ++it;
-      continue;
-    }
-    // Pick a repair source: the original sender if it holds the packet by
-    // now, else any node that has previously delivered to this receiver,
-    // else the stream source — first match with residual send capacity and
-    // receive headroom at the arrival slot.
-    NodeKey chosen = sim::kNoNode;
-    std::vector<NodeKey> candidates;
-    candidates.push_back(repair.sender);
-    for (const NodeKey s : senders_seen_[static_cast<std::size_t>(to)]) {
-      candidates.push_back(s);
-    }
-    candidates.push_back(options_.source);
-    for (const NodeKey s : candidates) {
-      if (s == to || s < 0) continue;
-      if (!holds(s, packet)) continue;
-      if (send_used_[static_cast<std::size_t>(s)] >=
-          topology_.send_capacity(s)) {
-        continue;
-      }
-      if (!recv_headroom(t + topology_.latency(s, to) - 1, to)) continue;
-      chosen = s;
-      break;
-    }
-    if (chosen == sim::kNoNode) {
-      ++it;  // no capacity or no holder this slot; retry next slot
-      continue;
-    }
-    out.push_back(Tx{.from = chosen,
-                     .to = to,
-                     .packet = packet,
-                     .tag = repair.tag,
-                     .retransmit = true});
-    ++stats_.retransmissions;
-    ++send_used_[static_cast<std::size_t>(chosen)];
-    note_planned_arrival(t + topology_.latency(chosen, to) - 1, to);
-    set_in_flight(to, packet, true);
-    repair.in_flight = true;
-    ++it;
-  }
-}
-
-void RecoveryProtocol::fec_accumulate(const Tx& tx) {
-  auto& window = fec_acc_[{tx.from, tx.to}];
-  window.push_back(tx);
-  if (std::cmp_less(window.size(), options_.fec_window)) return;
-  ParityWindow parity{.from = tx.from, .to = tx.to, .data = std::move(window)};
-  window.clear();
-  parity_queue_.emplace_back(next_parity_id_++, std::move(parity));
-}
-
-void RecoveryProtocol::emit_parity(Slot t, std::vector<Tx>& out) {
-  for (auto it = parity_queue_.begin(); it != parity_queue_.end();) {
-    const auto& [id, window] = *it;
-    if (send_used_[static_cast<std::size_t>(window.from)] >=
-            topology_.send_capacity(window.from) ||
-        !recv_headroom(t + topology_.latency(window.from, window.to) - 1,
-                       window.to)) {
-      ++it;  // blocked on capacity; keep for a later slot
-      continue;
-    }
-    out.push_back(Tx{.from = window.from,
-                     .to = window.to,
-                     .packet = id,
-                     .tag = -1});
-    ++send_used_[static_cast<std::size_t>(window.from)];
-    note_planned_arrival(t + topology_.latency(window.from, window.to) - 1,
-                         window.to);
-    ++stats_.parity_transmissions;
-    parity_windows_.emplace(id, window);
-    it = parity_queue_.erase(it);
-  }
+  policy_->emit(*this, t, out);
 }
 
 void RecoveryProtocol::deliver(Slot t, const Tx& tx) {
   if (tx.packet >= sim::kControlIdBase) {
-    handle_parity_arrival(t, tx);
+    policy_->on_control_arrival(*this, t, tx);
     return;
   }
   auto& seen = senders_seen_[static_cast<std::size_t>(tx.to)];
   if (std::ranges::find(seen, tx.from) == seen.end()) seen.push_back(tx.from);
   ingest_data(t, tx);
-  recheck_unresolved(t, tx.to);
+  policy_->on_data_arrival(*this, t, tx);
 }
 
 void RecoveryProtocol::ingest_data(Slot t, const Tx& tx) {
   const NodeKey to = tx.to;
   trackers_[static_cast<std::size_t>(to)].mark(tx.packet);
   set_in_flight(to, tx.packet, false);
-  pending_.erase({to, tx.packet});
-  gap_seen_.erase({to, tx.packet});
+  policy_->on_data_ingested(*this, t, tx);
   // If this packet was a known gap, retire it from the in-order gate (the
   // release below plus the flush unblocks everything it was holding back).
   std::int32_t tag = tx.tag;
@@ -373,83 +265,42 @@ void RecoveryProtocol::flush_held_back(Slot t, NodeKey to, std::int32_t tag) {
   if (held.empty()) held_back_.erase(held_it);
 }
 
-void RecoveryProtocol::handle_parity_arrival(Slot t, const Tx& tx) {
-  if (!try_decode(t, tx.packet) && parity_windows_.contains(tx.packet)) {
-    unresolved_[static_cast<std::size_t>(tx.to)].push_back(tx.packet);
-  }
-}
-
-bool RecoveryProtocol::try_decode(Slot t, PacketId parity_id) {
-  const auto it = parity_windows_.find(parity_id);
-  if (it == parity_windows_.end()) return true;  // already resolved
-  const ParityWindow& window = it->second;
-  const NodeKey to = window.to;
-  const Tx* missing = nullptr;
-  int missing_count = 0;
-  for (const Tx& data : window.data) {
-    if (trackers_[static_cast<std::size_t>(to)].has(data.packet)) continue;
-    ++missing_count;
-    missing = &data;
-  }
-  if (missing_count == 0) {
-    parity_windows_.erase(it);
-    return true;
-  }
-  if (missing_count > 1 ||
-      in_flight(to, missing->packet)) {  // cannot (or need not) decode yet
-    return false;
-  }
-  // XOR of the parity with the w-1 received packets yields the missing one.
-  ++stats_.fec_decodes;
-  const Tx decoded = *missing;
-  parity_windows_.erase(it);
-  const sim::Delivery synthetic{.sent = t, .received = t, .tx = decoded};
-  for (sim::DeliveryObserver* obs : observers_) obs->on_delivery(synthetic);
-  ingest_data(t, decoded);
-  return true;
-}
-
-void RecoveryProtocol::recheck_unresolved(Slot t, NodeKey node) {
-  auto& list = unresolved_[static_cast<std::size_t>(node)];
-  // A successful decode can make another window of the same receiver
-  // decodable, so iterate to a fixpoint.
-  while (std::erase_if(list, [&](const PacketId id) {
-           return try_decode(t, id);
-         }) > 0) {
-  }
-}
-
 void RecoveryProtocol::on_delivery(const sim::Delivery& d) {
-  // Fan the post-repair stream out to attached metrics. FEC-decoded packets
-  // are synthesized in try_decode; everything the engine actually delivered
-  // (data, repairs, parity) passes through here.
+  // Fan the post-repair stream out to attached metrics. Policy-decoded
+  // packets are synthesized in ingest_decoded; everything the engine
+  // actually delivered (data, repairs, parity) passes through here.
   for (sim::DeliveryObserver* obs : observers_) obs->on_delivery(d);
 }
 
 void RecoveryProtocol::on_drop(const sim::Drop& d) {
   const Tx& tx = d.tx;
   if (tx.packet >= sim::kControlIdBase) {
-    // A lost parity packet: its window is simply unprotected.
-    parity_windows_.erase(tx.packet);
+    policy_->on_control_drop(*this, d);
     return;
   }
   set_in_flight(tx.to, tx.packet, false);
   mark_outstanding(tx.to, tx.tag, tx.packet);
   for (sim::DeliveryObserver* obs : observers_) obs->on_drop(d);
-  if (options_.mode == RecoveryMode::kNack) {
-    schedule_repair(tx.to, tx.packet, tx.from, tx.tag,
-                    nack_due(d.would_arrive, tx.from, tx.to));
-  }
-}
-
-PacketId RecoveryProtocol::gap_free_prefix(NodeKey node) const {
-  return trackers_[static_cast<std::size_t>(node)].gap_free_prefix();
+  policy_->on_data_drop(*this, d);
 }
 
 bool RecoveryProtocol::all_gap_free(NodeKey from, NodeKey to,
                                     PacketId window) const {
   for (NodeKey n = from; n <= to; ++n) {
     if (gap_free_prefix(n) < window) return false;
+  }
+  return true;
+}
+
+bool RecoveryProtocol::gaps_resolved(NodeKey from, NodeKey to,
+                                     PacketId window) const {
+  for (NodeKey n = from; n <= to; ++n) {
+    const auto& tracker = trackers_[static_cast<std::size_t>(n)];
+    for (PacketId p = tracker.gap_free_prefix(); p < window; ++p) {
+      if (!tracker.has(p) && !abandoned_.contains(flight_key(n, p))) {
+        return false;
+      }
+    }
   }
   return true;
 }

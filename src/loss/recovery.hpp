@@ -18,17 +18,15 @@
 //    packet order per (receiver, tag) substream, holding back arrivals that
 //    overtook a known-lost packet. The schemes' in-order invariants
 //    (multi-tree congruence) therefore hold verbatim under loss.
-//  * NACK repair (RecoveryMode::kNack) — every detected gap (engine drop
-//    report, suppressed send, or skipped id on a dense link) schedules a
-//    retransmission from a node that holds the packet, after a modeled
-//    NACK round trip, using only residual send/receive capacity (see
-//    net::ProvisionedTopology). Lost repairs are re-NACKed, so every gap
-//    eventually closes.
-//  * XOR-parity FEC (RecoveryMode::kFec) — per link, one parity packet per
-//    window of `fec_window` data packets; a single erasure inside the window
-//    decodes at the receiver without a round trip. Parity ids live in the
-//    control id space (sim::kControlIdBase) and are never part of the
-//    stream.
+//
+// The repair *strategy* — what to do about a detected gap — is a
+// policy::RecoveryPolicy looked up in the policy registry
+// (src/policy/registry.hpp): `none`, `nack`, `xor-parity`, or
+// `streaming-code`. RecoveryProtocol is the policy's RecoveryHost: it owns
+// the trackers, the in-order gate, and the residual-capacity accounting,
+// and fires the policy hooks at the exact program points the historical
+// RecoveryMode switch sat at (byte-identical for the legacy strategies,
+// golden-pinned by tests/policy_layer_test.cpp).
 //
 // At loss rate 0 nothing is suppressed, repaired, or held back, and the
 // engine-visible schedule is bit-identical to running the wrapped protocol
@@ -36,13 +34,15 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <map>
+#include <memory>
 #include <set>
+#include <string>
 #include <unordered_set>
 #include <vector>
 
 #include "src/net/topology.hpp"
+#include "src/policy/recovery.hpp"
 #include "src/sim/engine.hpp"
 #include "src/sim/protocol.hpp"
 
@@ -53,13 +53,20 @@ using sim::PacketId;
 using sim::Slot;
 using sim::Tx;
 
-enum class RecoveryMode { kNone, kNack, kFec };
-
-const char* recovery_mode_name(RecoveryMode m);
+// The strategy types migrated to src/policy; these aliases keep the
+// historical loss:: spellings working for existing callers.
+using policy::RecoveryMode;
+using policy::RecoveryStats;
+using policy::recovery_mode_name;
 
 struct RecoveryOptions {
+  /// Legacy strategy selector, honored when `policy` is empty (the
+  /// registry maps it via policy::recovery_policy_name).
   RecoveryMode mode = RecoveryMode::kNack;
-  /// Data packets per XOR parity packet (kFec).
+  /// Recovery policy registry entry ("none", "nack", "xor-parity",
+  /// "streaming-code"); empty selects by `mode`.
+  std::string policy{};
+  /// Data packets per XOR parity packet (xor-parity).
   int fec_window = 8;
   /// Extra slots added to the modeled NACK round trip before a repair is
   /// eligible to be sent.
@@ -75,29 +82,23 @@ struct RecoveryOptions {
   /// for demand-driven schemes (hypercube) where a packet that missed its
   /// consumption deadline is simply never offered again; must exceed the
   /// scheme's worst inter-arrival skew so it cannot fire on a lossless run.
-  /// -1 disables the sweep. Repairs issued here carry tag 0, so only enable
-  /// it for schemes whose deliver() ignores tags.
+  /// -1 disables the sweep. Repairs issued here carry `sweep_tag`, so only
+  /// enable it for schemes whose deliver() tolerates that tag.
   Slot gap_timeout = -1;
+  /// Substream tag carried by aged-gap sweep repairs (default 0, the
+  /// historical behavior). Schemes whose tags partition the stream into
+  /// substreams (dyntree trees) should pass a tag no live delivery uses,
+  /// so a pending backfill never holds live substreams back in the
+  /// in-order gate.
+  std::int32_t sweep_tag = 0;
+  /// Sweep relevance horizon: gaps whose id trails the current slot by
+  /// more than this are abandoned instead of repaired (the repair could
+  /// only land past the packet's play deadline). -1 = repair regardless.
+  Slot repair_horizon = -1;
   /// Node that originates the stream and implicitly holds every packet.
   NodeKey source = 0;
-};
-
-struct RecoveryStats {
-  std::int64_t data_transmissions = 0;
-  std::int64_t retransmissions = 0;
-  std::int64_t parity_transmissions = 0;
-  std::int64_t fec_decodes = 0;
-  /// Sends suppressed because the sender did not hold the packet.
-  std::int64_t suppressed_causal = 0;
-  /// Sends suppressed because the receiver already held the packet (or it
-  /// was already in flight).
-  std::int64_t suppressed_redundant = 0;
-  /// Repair requests issued (including re-NACKs of lost repairs).
-  std::int64_t nacks = 0;
-
-  /// Repair traffic per useful data transmission:
-  /// (retransmissions + parity) / data.
-  double redundancy_overhead() const;
+  /// Badr–Lui–Khisti code parameters (streaming-code).
+  policy::StreamingCodeOptions code{};
 };
 
 /// Per-node expected-vs-delivered sequence state: the gap-free prefix
@@ -106,6 +107,11 @@ class SequenceTracker {
  public:
   /// Records receipt of packet p (idempotent).
   void mark(PacketId p);
+
+  /// Floors the expectation at packet p: ids below p are no longer part of
+  /// this node's stream (a churn joiner seated at the live edge is not in
+  /// debt for pre-join history). No-op when the prefix already passed p.
+  void start_at(PacketId p);
 
   bool has(PacketId p) const {
     return p < next_ || ahead_.contains(p);
@@ -124,7 +130,8 @@ class SequenceTracker {
 };
 
 class RecoveryProtocol final : public sim::Protocol,
-                               public sim::DeliveryObserver {
+                               public sim::DeliveryObserver,
+                               public policy::RecoveryHost {
  public:
   /// `topology` must be the engine's topology (typically a
   /// net::ProvisionedTopology so repairs have capacity to ride on) and must
@@ -143,90 +150,84 @@ class RecoveryProtocol final : public sim::Protocol,
   void on_drop(const sim::Drop& d) override;
 
   /// Observers of the post-repair stream: real deliveries, repair
-  /// retransmissions, parity arrivals, and synthesized FEC-decoded packets.
+  /// retransmissions, parity arrivals, and synthesized decoded packets.
   /// Metrics that should measure what the application sees attach here, not
   /// to the engine.
   void add_observer(sim::DeliveryObserver& obs) {
     observers_.push_back(&obs);
   }
 
-  /// First data packet id `node` has not yet received (repairs included).
-  PacketId gap_free_prefix(NodeKey node) const;
+  /// Seats `node` at the live edge: its stream starts at `live_edge`, so
+  /// the recovery layer never backfills pre-join history (churn joiners).
+  void seat(NodeKey node, PacketId live_edge);
 
   /// True iff every node in [from, to] holds the gap-free prefix [0, window).
   bool all_gap_free(NodeKey from, NodeKey to, PacketId window) const;
+
+  /// True iff every window packet at every node in [from, to] has a decided
+  /// fate: arrived, or abandoned by the policy (declared unrecoverable).
+  /// The drain loop stops on this instead of all_gap_free, so a
+  /// delay-bounded policy that gives a gap up ends the run instead of
+  /// burning max_drain; the legacy policies never abandon, making the two
+  /// predicates — and the drain behavior — identical (byte-pinned).
+  bool gaps_resolved(NodeKey from, NodeKey to, PacketId window) const;
+
+  /// True when the active policy has no undecided erasure and no channel
+  /// use in flight. Always false for the legacy policies.
+  bool recovery_exhausted() const { return policy_->exhausted(); }
 
   const RecoveryStats& stats() const { return stats_; }
 
   const RecoveryOptions& options() const { return options_; }
 
- private:
-  struct Repair {
-    NodeKey sender = 0;
-    std::int32_t tag = 0;
-    Slot due = 0;
-    bool in_flight = false;
-  };
-  struct ParityWindow {
-    NodeKey from = 0;
-    NodeKey to = 0;
-    std::vector<Tx> data;  // the window's data transmissions, in order
-  };
+  /// Registry name of the active recovery policy.
+  const char* policy_name() const { return policy_->name(); }
 
-  bool holds(NodeKey node, PacketId p) const;
-  bool in_flight(NodeKey to, PacketId p) const;
-  void set_in_flight(NodeKey to, PacketId p, bool value);
-  Slot nack_due(Slot detect_slot, NodeKey from, NodeKey to) const;
-  void schedule_repair(NodeKey to, PacketId p, NodeKey sender,
-                       std::int32_t tag, Slot due);
-  void mark_outstanding(NodeKey to, std::int32_t tag, PacketId p);
-  void detect_dense_skips(Slot t, const Tx& tx);
-  void sweep_aged_gaps(Slot t);
-  void emit_repairs(Slot t, std::vector<Tx>& out);
-  void emit_parity(Slot t, std::vector<Tx>& out);
-  void fec_accumulate(const Tx& tx);
-  void handle_parity_arrival(Slot t, const Tx& tx);
-  void recheck_unresolved(Slot t, NodeKey node);
-  bool try_decode(Slot t, PacketId parity_id);
-  /// Common data-arrival path for real, repaired, and FEC-decoded packets:
-  /// tracker update, repair bookkeeping, in-order release into the inner
+  // policy::RecoveryHost
+  NodeKey node_count() const override;
+  Slot link_latency(NodeKey from, NodeKey to) const override;
+  bool holds(NodeKey node, PacketId p) const override;
+  bool has_arrived(NodeKey node, PacketId p) const override;
+  PacketId gap_free_prefix(NodeKey node) const override;
+  const std::set<PacketId>& ahead(NodeKey node) const override;
+  bool in_flight(NodeKey to, PacketId p) const override;
+  void set_in_flight(NodeKey to, PacketId p, bool value) override;
+  void mark_outstanding(NodeKey to, std::int32_t tag, PacketId p) override;
+  void abandon_gap(Slot t, NodeKey to, PacketId p) override;
+  const std::vector<NodeKey>& senders_seen(NodeKey to) const override;
+  bool send_available(NodeKey from) const override;
+  void use_send(NodeKey from) override;
+  bool recv_headroom(Slot arrive, NodeKey to) const override;
+  void note_planned_arrival(Slot arrive, NodeKey to) override;
+  void ingest_decoded(Slot t, const Tx& tx) override;
+  RecoveryStats& stats() override { return stats_; }
+
+ private:
+  /// Common data-arrival path for real, repaired, and decoded packets:
+  /// tracker update, policy bookkeeping, in-order release into the inner
   /// protocol.
   void ingest_data(Slot t, const Tx& tx);
   void release_in_order(Slot t, const Tx& tx);
   void flush_held_back(Slot t, NodeKey to, std::int32_t tag);
-  bool recv_headroom(Slot arrive, NodeKey to) const;
-  void note_planned_arrival(Slot arrive, NodeKey to);
 
   const net::Topology& topology_;
   sim::Protocol& inner_;
   RecoveryOptions options_;
   RecoveryStats stats_;
+  std::unique_ptr<policy::RecoveryPolicy> policy_;
 
   std::vector<SequenceTracker> trackers_;           // per node
   std::vector<std::vector<NodeKey>> senders_seen_;  // per receiver, in order
   std::vector<sim::DeliveryObserver*> observers_;
 
   std::unordered_set<std::uint64_t> in_flight_;     // (to, packet) keys
-  std::map<std::pair<NodeKey, PacketId>, Repair> pending_;
+  std::unordered_set<std::uint64_t> abandoned_;     // (to, packet) keys
 
   // In-order release state, per (receiver, tag) substream.
   std::map<std::pair<NodeKey, std::int32_t>, std::set<PacketId>> outstanding_;
   std::map<std::pair<NodeKey, PacketId>, std::int32_t> outstanding_tag_;
   std::map<std::pair<NodeKey, std::int32_t>, std::map<PacketId, Tx>>
       held_back_;
-
-  // Dense-link skip detection: newest inner-emitted id per (from, to).
-  std::map<std::pair<NodeKey, NodeKey>, PacketId> last_emitted_;
-
-  // Aged-gap sweep: slot at which each open gap was first observed.
-  std::map<std::pair<NodeKey, PacketId>, Slot> gap_seen_;
-
-  // FEC state.
-  std::map<std::pair<NodeKey, NodeKey>, std::vector<Tx>> fec_acc_;
-  std::deque<std::pair<PacketId, ParityWindow>> parity_queue_;
-  std::map<PacketId, ParityWindow> parity_windows_;   // sent, undecoded
-  std::vector<std::vector<PacketId>> unresolved_;     // per node: parity ids
-  PacketId next_parity_id_ = sim::kControlIdBase;
 
   // Per-slot capacity accounting (residual capacity for repairs/parity).
   std::vector<int> send_used_;

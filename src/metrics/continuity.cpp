@@ -38,6 +38,17 @@ Slot ContinuityRecorder::arrival(NodeKey node, PacketId p) const {
   return row(node)[static_cast<std::size_t>(p)];
 }
 
+Slot ContinuityRecorder::first_arrival(NodeKey node) const {
+  const Slot* arrivals = row(node);
+  Slot first = kNeverArrived;
+  for (PacketId j = 0; j < window_; ++j) {
+    const Slot got = arrivals[static_cast<std::size_t>(j)];
+    if (got == kNeverArrived) continue;
+    if (first == kNeverArrived || got < first) first = got;
+  }
+  return first;
+}
+
 ContinuityRecorder::Report ContinuityRecorder::report(NodeKey node,
                                                       Slot playback_start,
                                                       Slot horizon) const {

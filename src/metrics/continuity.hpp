@@ -59,6 +59,11 @@ class ContinuityRecorder final : public sim::DeliveryObserver {
   /// First arrival slot of packet p at node, or metrics::kNeverArrived.
   Slot arrival(NodeKey node, PacketId p) const;
 
+  /// Earliest arrival slot of any window packet at node, or
+  /// metrics::kNeverArrived when nothing arrived (startup policies anchor
+  /// their prebuffer here).
+  Slot first_arrival(NodeKey node) const;
+
   /// Repair traffic per data delivery observed: (retransmissions + parity)
   /// / data deliveries.
   double redundancy_overhead() const;

@@ -1,0 +1,326 @@
+#include "src/policy/streaming_code.hpp"
+
+#include <algorithm>
+
+namespace streamcast::policy {
+
+namespace {
+
+/// Cap on how many skipped ids one transmission may open for forwarding; a
+/// dense scheme advances one id per slot per link, so anything near this
+/// bound would indicate a mis-flagged strided scheme.
+constexpr PacketId kMaxSkipRange = 4096;
+
+}  // namespace
+
+StreamingCodePolicy::StreamingCodePolicy(const RecoveryPolicyOptions& options)
+    : RecoveryPolicy(options),
+      decode_delay_(std::max<Slot>(1, options.code.decode_delay)),
+      max_burst_(std::max<PacketId>(1, options.code.burst)) {
+  // BLK needs T >= B: a burst must fit inside its own decode window.
+  decode_delay_ = std::max(decode_delay_, static_cast<Slot>(max_burst_));
+}
+
+void StreamingCodePolicy::record_use(RecoveryHost& /*host*/, LinkKey /*key*/,
+                                     Link& link, const Tx& tx, bool parity) {
+  const UseIndex idx = link.next_index++;
+  Use use;
+  use.tx = tx;
+  use.parity = parity;
+  link.uses.emplace(idx, use);
+  ++pending_uses_;
+  if (parity) {
+    parity_at_.emplace(tx.packet, std::make_pair(LinkKey{tx.from, tx.to}, idx));
+  } else {
+    link.index_of[tx.packet] = idx;
+    link.credit += static_cast<std::int64_t>(max_burst_);
+  }
+}
+
+void StreamingCodePolicy::on_data_emitted(RecoveryHost& host, Slot /*t*/,
+                                          const Tx& tx) {
+  LinkKey key{tx.from, tx.to};
+  Link& link = code_links_[key];
+  if (options().dense_links) detect_skips(host, link, tx);
+  record_use(host, key, link, tx, /*parity=*/false);
+}
+
+void StreamingCodePolicy::detect_skips(RecoveryHost& host, Link& link,
+                                       const Tx& tx) {
+  // On a dense link the inner schedule advances one id per emission; a jump
+  // means the ids in between were lost upstream before this link ever
+  // carried them. Queue them for forwarding once the sender holds them.
+  if (tx.packet > link.last_data + 1) {
+    const PacketId lo =
+        std::max(link.last_data + 1, tx.packet - kMaxSkipRange);
+    for (PacketId g = lo; g < tx.packet; ++g) {
+      if (host.has_arrived(tx.to, g)) continue;
+      if (host.in_flight(tx.to, g)) continue;
+      link.skipped.try_emplace(g, tx.tag);
+    }
+  }
+  link.last_data = std::max(link.last_data, tx.packet);
+}
+
+void StreamingCodePolicy::forward_skipped(RecoveryHost& host, Slot t,
+                                          LinkKey key, Link& link,
+                                          std::vector<Tx>& out) {
+  const auto [from, to] = key;
+  for (auto it = link.skipped.begin(); it != link.skipped.end();) {
+    const PacketId id = it->first;
+    if (host.has_arrived(to, id) || lost_.contains({to, id})) {
+      it = link.skipped.erase(it);
+      continue;
+    }
+    if (lost_.contains({from, id})) {
+      // The upstream hop gave this id up: the sender will never hold it,
+      // so no data use can ever carry it here. Cascade the abandonment.
+      lost_.insert({to, id});
+      host.abandon_gap(t, to, id);
+      it = link.skipped.erase(it);
+      continue;
+    }
+    if (host.in_flight(to, id) || !host.holds(from, id)) {
+      ++it;  // still undecided upstream, or already on its way
+      continue;
+    }
+    if (!host.send_available(from) ||
+        !host.recv_headroom(t + host.link_latency(from, to) - 1, to)) {
+      break;  // out of capacity this slot; the queue carries over
+    }
+    const Tx fwd{
+        .from = from, .to = to, .packet = id, .tag = it->second,
+        .retransmit = true};
+    record_use(host, key, link, fwd, /*parity=*/false);
+    out.push_back(fwd);
+    ++host.stats().retransmissions;
+    host.use_send(from);
+    host.note_planned_arrival(t + host.link_latency(from, to) - 1, to);
+    host.set_in_flight(to, id, true);
+    it = link.skipped.erase(it);
+  }
+}
+
+bool StreamingCodePolicy::emit_parity_use(RecoveryHost& host, Slot t,
+                                          LinkKey key, Link& link,
+                                          std::vector<Tx>& out) {
+  const auto [from, to] = key;
+  if (!host.send_available(from) ||
+      !host.recv_headroom(t + host.link_latency(from, to) - 1, to)) {
+    return false;  // blocked on capacity; the credit carries over
+  }
+  const Tx parity{.from = from, .to = to, .packet = next_code_id_++, .tag = -1};
+  record_use(host, key, link, parity, /*parity=*/true);
+  out.push_back(parity);
+  host.use_send(from);
+  host.note_planned_arrival(t + host.link_latency(from, to) - 1, to);
+  ++host.stats().parity_transmissions;
+  return true;
+}
+
+void StreamingCodePolicy::emit(RecoveryHost& host, Slot t,
+                               std::vector<Tx>& out) {
+  for (auto& [key, link] : code_links_) {
+    // Relay forwarding: re-inject ids the dense schedule skipped past, as
+    // regular parity-protected data uses.
+    if (!link.skipped.empty()) forward_skipped(host, t, key, link, out);
+    // Cadence parity: one parity use per T credit (B credit per data use),
+    // i.e. the code's B:T parity:data ratio.
+    while (link.credit >= static_cast<std::int64_t>(decode_delay_)) {
+      if (!emit_parity_use(host, t, key, link, out)) break;
+      link.credit -= static_cast<std::int64_t>(decode_delay_);
+    }
+    // Window flush: an undecided erasure at index i needs the link's index
+    // stream to reach i + T before its fate is known. Once the data
+    // schedule goes quiet (end of stream, drain), keep the stream moving
+    // with extra parity uses until every open window is full.
+    if (!link.open.empty() &&
+        link.next_index <= *link.open.rbegin() + decode_delay_) {
+      emit_parity_use(host, t, key, link, out);
+    }
+  }
+}
+
+void StreamingCodePolicy::note_erasure_run(RecoveryHost& host, Link& link,
+                                           UseIndex idx) {
+  UseIndex s = idx;
+  while (true) {
+    const auto it = link.uses.find(s - 1);
+    if (it == link.uses.end() || it->second.state != UseState::kErased) break;
+    --s;
+  }
+  UseIndex e = idx;
+  while (true) {
+    const auto it = link.uses.find(e + 1);
+    if (it == link.uses.end() || it->second.state != UseState::kErased) break;
+    ++e;
+  }
+  host.stats().max_erasure_run =
+      std::max(host.stats().max_erasure_run, e - s + 1);
+}
+
+void StreamingCodePolicy::finalize_data_use(RecoveryHost& host, Slot t,
+                                            const Tx& tx, UseState state) {
+  const auto link_it = code_links_.find({tx.from, tx.to});
+  if (link_it == code_links_.end()) return;
+  Link& link = link_it->second;
+  const auto idx_it = link.index_of.find(tx.packet);
+  if (idx_it == link.index_of.end()) return;
+  const UseIndex idx = idx_it->second;
+  link.index_of.erase(idx_it);
+  Use& use = link.uses.at(idx);
+  use.state = state;
+  --pending_uses_;
+  if (state == UseState::kErased) {
+    link.open.insert(idx);
+    ++undecided_;
+    note_erasure_run(host, link, idx);
+  } else {
+    // A later transmission of the same packet got through: any open erased
+    // use of it on this link is naturally repaired and needs no decode.
+    for (auto it = link.open.begin(); it != link.open.end();) {
+      Use& prior = link.uses.at(*it);
+      if (!prior.decided && prior.tx.packet == tx.packet) {
+        prior.decided = true;
+        it = link.open.erase(it);
+        --undecided_;
+      } else {
+        ++it;
+      }
+    }
+  }
+  settle(host, t, link);
+}
+
+void StreamingCodePolicy::on_data_arrival(RecoveryHost& host, Slot t,
+                                          const Tx& tx) {
+  finalize_data_use(host, t, tx, UseState::kArrived);
+}
+
+void StreamingCodePolicy::on_data_drop(RecoveryHost& host,
+                                       const sim::Drop& d) {
+  finalize_data_use(host, d.would_arrive, d.tx, UseState::kErased);
+}
+
+void StreamingCodePolicy::on_control_arrival(RecoveryHost& host, Slot t,
+                                             const Tx& tx) {
+  const auto it = parity_at_.find(tx.packet);
+  if (it == parity_at_.end()) return;
+  const auto [key, idx] = it->second;
+  parity_at_.erase(it);
+  Link& link = code_links_.at(key);
+  link.uses.at(idx).state = UseState::kArrived;
+  --pending_uses_;
+  settle(host, t, link);
+}
+
+void StreamingCodePolicy::on_control_drop(RecoveryHost& host,
+                                          const sim::Drop& d) {
+  const auto it = parity_at_.find(d.tx.packet);
+  if (it == parity_at_.end()) return;
+  const auto [key, idx] = it->second;
+  parity_at_.erase(it);
+  Link& link = code_links_.at(key);
+  Use& use = link.uses.at(idx);
+  use.state = UseState::kErased;
+  // An erased parity use carries no stream gap of its own, but it extends
+  // the channel's erasure run and can collide with an open decode window.
+  use.decided = true;
+  --pending_uses_;
+  note_erasure_run(host, link, idx);
+  settle(host, d.would_arrive, link);
+}
+
+void StreamingCodePolicy::decide(RecoveryHost& /*host*/, Link& link,
+                                 UseIndex idx) {
+  Use& use = link.uses.at(idx);
+  if (use.decided) return;
+  use.decided = true;
+  if (!use.parity) {
+    link.open.erase(idx);
+    --undecided_;
+  }
+}
+
+void StreamingCodePolicy::settle(RecoveryHost& host, Slot t, Link& link) {
+  const std::vector<UseIndex> open_snapshot(link.open.begin(),
+                                            link.open.end());
+  for (const UseIndex idx : open_snapshot) {
+    if (!link.open.contains(idx)) continue;  // decided by an earlier run
+    // The maximal erasure run [s, e] containing idx. Channel uses finalize
+    // in index order per link, so everything inside is final.
+    UseIndex s = idx;
+    while (true) {
+      const auto it = link.uses.find(s - 1);
+      if (it == link.uses.end() || it->second.state != UseState::kErased) {
+        break;
+      }
+      --s;
+    }
+    UseIndex e = idx;
+    while (true) {
+      const auto it = link.uses.find(e + 1);
+      if (it == link.uses.end() || it->second.state != UseState::kErased) {
+        break;
+      }
+      ++e;
+    }
+
+    const auto declare_unrecoverable = [&](UseIndex lo, UseIndex hi) {
+      for (UseIndex j = lo; j <= hi; ++j) {
+        const auto it = link.uses.find(j);
+        if (it == link.uses.end()) continue;
+        Use& use = it->second;
+        if (use.state != UseState::kErased || use.decided) continue;
+        if (!use.parity) {
+          ++host.stats().unrecoverable;
+          if (!host.has_arrived(use.tx.to, use.tx.packet)) {
+            lost_.insert({use.tx.to, use.tx.packet});
+            host.abandon_gap(t, use.tx.to, use.tx.packet);
+          }
+        }
+        decide(host, link, j);
+      }
+    };
+
+    if (e - s + 1 > static_cast<UseIndex>(max_burst_)) {
+      // Burst longer than B: beyond the code's correction capability.
+      declare_unrecoverable(s, e);
+      continue;
+    }
+
+    // Decode window for position idx: every channel use in (e, idx + T]
+    // must have arrived. A second erasure inside it is a guard-space
+    // collision; a pending or not-yet-emitted use leaves the decision open.
+    bool wait = false;
+    bool collision = false;
+    for (UseIndex k = e + 1; k <= idx + static_cast<UseIndex>(decode_delay_);
+         ++k) {
+      const auto it = link.uses.find(k);
+      if (it == link.uses.end() || it->second.state == UseState::kPending) {
+        wait = true;
+        break;
+      }
+      if (it->second.state == UseState::kErased) {
+        collision = true;
+        break;
+      }
+    }
+    if (collision) {
+      ++host.stats().guard_collisions;
+      declare_unrecoverable(s, e);
+      continue;
+    }
+    if (wait) continue;
+
+    // All of (e, idx + T] arrived: the BLK code recovers position idx.
+    Use& use = link.uses.at(idx);
+    if (!host.has_arrived(use.tx.to, use.tx.packet)) {
+      ++host.stats().fec_decodes;
+      host.ingest_decoded(t, use.tx);
+    }
+    decide(host, link, idx);
+  }
+}
+
+}  // namespace streamcast::policy

@@ -1,0 +1,105 @@
+#include "src/policy/xor_parity.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace streamcast::policy {
+
+void XorParityPolicy::bind(RecoveryHost& host) {
+  unresolved_.resize(static_cast<std::size_t>(host.node_count()));
+}
+
+void XorParityPolicy::on_data_emitted(RecoveryHost& /*host*/, Slot /*t*/,
+                                      const Tx& tx) {
+  auto& window = fec_acc_[{tx.from, tx.to}];
+  window.push_back(tx);
+  if (std::cmp_less(window.size(), options().fec_window)) return;
+  ParityWindow parity{.from = tx.from, .to = tx.to, .data = std::move(window)};
+  window.clear();
+  parity_queue_.emplace_back(next_parity_id_++, std::move(parity));
+}
+
+void XorParityPolicy::emit(RecoveryHost& host, Slot t, std::vector<Tx>& out) {
+  emit_parity(host, t, out);
+}
+
+void XorParityPolicy::emit_parity(RecoveryHost& host, Slot t,
+                                  std::vector<Tx>& out) {
+  for (auto it = parity_queue_.begin(); it != parity_queue_.end();) {
+    const auto& [id, window] = *it;
+    if (!host.send_available(window.from) ||
+        !host.recv_headroom(t + host.link_latency(window.from, window.to) - 1,
+                            window.to)) {
+      ++it;  // blocked on capacity; keep for a later slot
+      continue;
+    }
+    out.push_back(
+        Tx{.from = window.from, .to = window.to, .packet = id, .tag = -1});
+    host.use_send(window.from);
+    host.note_planned_arrival(
+        t + host.link_latency(window.from, window.to) - 1, window.to);
+    ++host.stats().parity_transmissions;
+    parity_windows_.emplace(id, window);
+    it = parity_queue_.erase(it);
+  }
+}
+
+void XorParityPolicy::on_data_arrival(RecoveryHost& host, Slot t,
+                                      const Tx& tx) {
+  recheck_unresolved(host, t, tx.to);
+}
+
+void XorParityPolicy::on_control_arrival(RecoveryHost& host, Slot t,
+                                         const Tx& tx) {
+  if (!try_decode(host, t, tx.packet) && parity_windows_.contains(tx.packet)) {
+    unresolved_[static_cast<std::size_t>(tx.to)].push_back(tx.packet);
+  }
+}
+
+bool XorParityPolicy::try_decode(RecoveryHost& host, Slot t,
+                                 PacketId parity_id) {
+  const auto it = parity_windows_.find(parity_id);
+  if (it == parity_windows_.end()) return true;  // already resolved
+  const ParityWindow& window = it->second;
+  const NodeKey to = window.to;
+  const Tx* missing = nullptr;
+  int missing_count = 0;
+  for (const Tx& data : window.data) {
+    if (host.has_arrived(to, data.packet)) continue;
+    ++missing_count;
+    missing = &data;
+  }
+  if (missing_count == 0) {
+    parity_windows_.erase(it);
+    return true;
+  }
+  if (missing_count > 1 ||
+      host.in_flight(to, missing->packet)) {  // cannot (or need not) decode
+    return false;
+  }
+  // XOR of the parity with the w-1 received packets yields the missing one.
+  ++host.stats().fec_decodes;
+  const Tx decoded = *missing;
+  parity_windows_.erase(it);
+  host.ingest_decoded(t, decoded);
+  return true;
+}
+
+void XorParityPolicy::recheck_unresolved(RecoveryHost& host, Slot t,
+                                         NodeKey node) {
+  auto& list = unresolved_[static_cast<std::size_t>(node)];
+  // A successful decode can make another window of the same receiver
+  // decodable, so iterate to a fixpoint.
+  while (std::erase_if(list, [&](const PacketId id) {
+           return try_decode(host, t, id);
+         }) > 0) {
+  }
+}
+
+void XorParityPolicy::on_control_drop(RecoveryHost& /*host*/,
+                                      const sim::Drop& d) {
+  // A lost parity packet: its window is simply unprotected.
+  parity_windows_.erase(d.tx.packet);
+}
+
+}  // namespace streamcast::policy

@@ -15,6 +15,7 @@
 #include "src/multitree/greedy.hpp"
 #include "src/multitree/protocol.hpp"
 #include "src/multitree/structured.hpp"
+#include "src/policy/registry.hpp"
 #include "src/rrd/digraph.hpp"
 #include "src/rrd/protocol.hpp"
 #include "src/supertree/analysis.hpp"
@@ -40,8 +41,11 @@ Overlay build_multitree(const SessionConfig& config) {
       std::make_unique<multitree::MultiTreeProtocol>(*o.forest, config.mode);
   // On lossy links a forward must wait for the actual (possibly repaired)
   // receipt, so the replayed deterministic schedule is unsound; keep the
-  // cursor pump, which advances only on delivery.
-  if (config.loss.model != loss::ErasureKind::kNone) {
+  // cursor pump, which advances only on delivery. Adaptive startup decides
+  // from observed arrivals, so it too runs the live pump rather than the
+  // memoized replay (mirroring StreamingSession::replay_eligible).
+  if (config.loss.model != loss::ErasureKind::kNone ||
+      policy::startup_policy(config.startup.policy).caps.adaptive) {
     proto->use_periodic_cache(false);
   }
   o.protocol = std::move(proto);
@@ -228,14 +232,18 @@ const Descriptor kRegistry[] = {
      .multicluster_bound = multicluster_bound_multitree},
     {.id = Scheme::kHypercube,
      .name = "hypercube",
-     .caps = {.multicluster = true, .demand_driven = true},
+     .caps = {.multicluster = true,
+              .demand_driven = true,
+              .bounded_recovery_policies = false},
      .build = build_hypercube,
      .envelope = envelope_hypercube,
      .intra = supertree::IntraScheme::kHypercube,
      .multicluster_bound = multicluster_bound_hypercube},
     {.id = Scheme::kHypercubeGrouped,
      .name = "hypercube/grouped",
-     .caps = {.demand_driven = true, .degree_sweep = true},
+     .caps = {.demand_driven = true,
+              .degree_sweep = true,
+              .bounded_recovery_policies = false},
      .build = build_hypercube_grouped,
      .envelope = envelope_hypercube_grouped},
     {.id = Scheme::kChain,
@@ -255,7 +263,7 @@ const Descriptor kRegistry[] = {
      .envelope = envelope_random_regular},
     {.id = Scheme::kDynamicTrees,
      .name = "dynamic-trees",
-     .caps = {.degree_sweep = true, .churn = true},
+     .caps = {.degree_sweep = true, .churn = true, .churn_backfill = true},
      .build = build_dynamic_trees,
      .envelope = envelope_dynamic_trees},
 };

@@ -76,6 +76,16 @@ struct Capabilities {
   /// mutate the structure while the stream keeps flowing); the churn
   /// benches pick it up as the adaptive competitor.
   bool churn = false;
+  /// Delay-bounded recovery policies (policy caps.bounded_recovery, e.g.
+  /// streaming-code) are sound: every window gap is link-visible as a
+  /// failed transmission. Demand-driven offer schedules retire packets at
+  /// their consumption slot, producing silent gaps only a feedback sweep
+  /// closes, so they opt out and the session rejects the combination.
+  bool bounded_recovery_policies = true;
+  /// Churn-induced gaps can be repaired through a NACK backfill channel
+  /// (loss::RecoveryProtocol::seat seats joiners at the live edge);
+  /// bench/churn_realistic picks it up as the repaired competitor.
+  bool churn_backfill = false;
 };
 
 /// The §7 audit envelope a scheme claims on reliable links: worst playback

@@ -1,0 +1,27 @@
+// A bench-side helper that re-inlines recovery strategy dispatch instead of
+// routing through the policy registry: every case arm and the switch over a
+// RecoveryMode expression must be flagged.
+#include <string>
+
+namespace streamcast::policy {
+enum class RecoveryMode { kNone, kNack, kFec };
+}
+
+std::string pick_label(streamcast::policy::RecoveryMode mode) {
+  switch (mode) {
+    case streamcast::policy::RecoveryMode::kNone:
+      return "none";
+    case streamcast::policy::RecoveryMode::kNack:
+      return "nack";
+    case streamcast::policy::RecoveryMode::kFec:
+      return "fec";
+  }
+  return "unknown";
+}
+
+int arm_count(int raw) {
+  switch (static_cast<streamcast::policy::RecoveryMode>(raw)) {
+    default:
+      return 0;
+  }
+}

@@ -1,0 +1,15 @@
+// Legacy label mapping kept for a serialized-report reader; the dispatch is
+// deliberate and every matching line carries a suppression.
+namespace policy {
+enum class RecoveryMode { kNone, kNack };
+}
+
+const char* legacy_label(policy::RecoveryMode mode) {
+  switch (mode) {  // plain switch header: only Recovery-typed text matches
+    case policy::RecoveryMode::kNone:  // lint: allow(policy-dispatch)
+      return "none";
+    case policy::RecoveryMode::kNack:  // lint: allow(policy-dispatch)
+      return "nack";
+  }
+  return "unknown";
+}

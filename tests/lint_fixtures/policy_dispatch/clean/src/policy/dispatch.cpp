@@ -1,0 +1,19 @@
+// Inside src/policy/ the strategy switch IS the registry's implementation
+// site — the rule exempts the policy module by path.
+namespace streamcast::policy {
+
+enum class RecoveryMode { kNone, kNack, kFec };
+
+const char* recovery_mode_name(RecoveryMode m) {
+  switch (m) {
+    case RecoveryMode::kNone:
+      return "none";
+    case RecoveryMode::kNack:
+      return "nack";
+    case RecoveryMode::kFec:
+      return "fec";
+  }
+  return "unknown";
+}
+
+}  // namespace streamcast::policy

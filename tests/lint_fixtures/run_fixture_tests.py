@@ -115,6 +115,17 @@ def main() -> int:
     expect_clean("layer DAG: downward includes stay clean",
                  HERE / "layer_dag" / "clean")
 
+    # policy-dispatch: recovery strategy switches stay behind the registry.
+    expect_finding("policy dispatch: case arm flagged outside src/policy",
+                   HERE / "policy_dispatch" / "bad",
+                   "policy-dispatch", "dispatch.cpp")
+    code, out = lint_ast([HERE / "policy_dispatch" / "bad"])
+    check("policy dispatch: every arm and the switch expression flagged",
+          code == 1 and sum("[policy-dispatch]" in line
+                            for line in out.splitlines()) >= 4, out)
+    expect_clean("policy dispatch: src/policy path and allow markers clean",
+                 HERE / "policy_dispatch" / "clean")
+
     # allow() suppressions silence both rules.
     expect_clean("suppression: allow() markers honored",
                  HERE / "suppression")

@@ -64,7 +64,7 @@ std::string serialize_result(const SessionConfig& cfg,
                              const run::TaskResult& r) {
   if (r.error) std::rethrow_exception(r.error);
   if (cfg.loss.model != loss::ErasureKind::kNone) {
-    return serialize(LossRunResult{r.qos, r.loss});
+    return serialize(LossRunResult{r.qos, r.loss, {}});
   }
   return serialize(r.qos);
 }

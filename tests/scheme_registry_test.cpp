@@ -75,7 +75,7 @@ TEST(SchemeParity, EveryCellMatchesPreRefactorGolden) {
     ASSERT_NE(it, golden.end()) << "no golden for cell: " << cell.id;
     std::string got;
     if (cell.cfg.loss.model != loss::ErasureKind::kNone) {
-      got = serialize(LossRunResult{results[i].qos, results[i].loss});
+      got = serialize(LossRunResult{results[i].qos, results[i].loss, {}});
     } else {
       got = serialize(results[i].qos);
     }

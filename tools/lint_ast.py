@@ -32,6 +32,12 @@ This lint closes those holes by looking at what names *mean*:
                suppression may sit on the line ABOVE the declaration
                (long member declarations cannot fit an 80-column trailing
                comment).
+  policy-dispatch — a `case Recovery...::` arm or a switch over a
+               RecoveryMode expression outside src/policy/: strategy
+               dispatch was extracted behind the policy registry
+               (src/policy/registry.hpp), and a re-inlined switch is a
+               site every future strategy silently misses. Callers route
+               through policy::recovery_policy(name) instead.
 
 Engines (--engine auto|clang|builtin, default auto):
 
@@ -222,6 +228,34 @@ def check_hot_path_alloc(src: Source) -> list[Finding]:
             continue
         findings.append(
             (src.path, lineno, "hot-path-alloc", src.snippet(lineno)))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# policy-dispatch (textual; both engines)
+# --------------------------------------------------------------------------
+
+POLICY_DISPATCH = re.compile(
+    r"\bcase\s+(?:\w+\s*::\s*)*Recovery\w*\s*::"
+    r"|\bswitch\s*\([^)]*\bRecoveryMode\b"
+)
+
+
+def check_policy_dispatch(src: Source) -> list[Finding]:
+    """Outside src/policy/, switching on a recovery strategy type re-inlines
+    the monolithic RecoveryMode dispatch the policy registry replaced — a
+    site every future strategy silently misses. Callers select behavior via
+    policy::recovery_policy(name) instead."""
+    if "src/policy/" in relpath(src.path).replace("\\", "/"):
+        return []
+    findings: list[Finding] = []
+    for lineno, line in enumerate(src.code_lines, start=1):
+        if not POLICY_DISPATCH.search(line):
+            continue
+        if src.allowed(lineno, "policy-dispatch"):
+            continue
+        findings.append(
+            (src.path, lineno, "policy-dispatch", src.snippet(lineno)))
     return findings
 
 
@@ -555,6 +589,7 @@ def main(argv: list[str]) -> int:
 
     for src in sources:
         findings.extend(check_hot_path_alloc(src))
+        findings.extend(check_policy_dispatch(src))
 
     if not args.no_layers:
         layers_path = Path(args.layers)
